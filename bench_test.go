@@ -1,0 +1,393 @@
+// Package hsmodel's root benchmark suite regenerates every table and figure
+// of the paper (one benchmark per experiment; see DESIGN.md §4 for the
+// index) plus microbenchmarks of the substrate layers. Headline numbers are
+// attached to each benchmark via ReportMetric:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks share one Workspace (profiles are collected and the
+// steady-state model trained once), so per-benchmark times reflect the
+// experiment itself, not data collection.
+package hsmodel
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"hsmodel/internal/core"
+	"hsmodel/internal/cpu"
+	"hsmodel/internal/experiments"
+	"hsmodel/internal/hwspace"
+	"hsmodel/internal/isa"
+	"hsmodel/internal/linalg"
+	"hsmodel/internal/profile"
+	"hsmodel/internal/regress"
+	"hsmodel/internal/rng"
+	"hsmodel/internal/spmv"
+	"hsmodel/internal/trace"
+)
+
+var (
+	wsOnce sync.Once
+	ws     *experiments.Workspace
+)
+
+// workspace returns the shared, silently-reporting experiment workspace.
+func workspace() *experiments.Workspace {
+	wsOnce.Do(func() {
+		cfg := experiments.Quick()
+		cfg.Out = io.Discard
+		ws = experiments.NewWorkspace(cfg)
+	})
+	return ws
+}
+
+// --- paper experiments -----------------------------------------------------
+
+func BenchmarkFig3VarianceStabilization(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3(w)
+		b.ReportMetric(res.SkewBefore, "skew-before")
+		b.ReportMetric(res.SkewAfter, "skew-after")
+		b.ReportMetric(1/res.Power, "power-denominator")
+	}
+}
+
+func BenchmarkFig5Convergence(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SearchAnatomy(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.History[0], "gen0-sum-med-err")
+		b.ReportMetric(res.History[len(res.History)-1], "final-sum-med-err")
+	}
+}
+
+func BenchmarkFig4InteractionFrequency(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SearchAnatomy(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		swsw, swhw, hwhw := res.RegionCounts()
+		b.ReportMetric(float64(swsw), "swsw-interactions")
+		b.ReportMetric(float64(swhw), "swhw-interactions")
+		b.ReportMetric(float64(hwhw), "hwhw-interactions")
+	}
+}
+
+func BenchmarkTable3Transformations(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SearchAnatomy(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		excluded := 0
+		for _, c := range res.Consensus {
+			if c == regress.Excluded {
+				excluded++
+			}
+		}
+		b.ReportMetric(float64(excluded), "excluded-vars")
+	}
+}
+
+func BenchmarkFig7aInterpolation(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7a(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Metrics.MedAPE, "medAPE-%")
+		b.ReportMetric(res.Metrics.Pearson, "rho")
+	}
+}
+
+func BenchmarkFig10ShardExtrapolation(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Overall.Errors.Median, "medAPE-%")
+		b.ReportMetric(res.Overall.Metrics.Spearman, "spearman")
+	}
+}
+
+func BenchmarkFig7bVariantExtrapolation(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7b(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Accuracy.Metrics.MedAPE, "medAPE-%")
+		b.ReportMetric(res.Accuracy.Metrics.Pearson, "rho")
+		b.ReportMetric(100*res.OptEffectMean, "opt-effect-mean-%")
+	}
+}
+
+func BenchmarkFig7cNewAppExtrapolation(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7c(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Overall.Metrics.MedAPE, "medAPE-%")
+		b.ReportMetric(res.Overall.Metrics.Pearson, "rho")
+		b.ReportMetric(float64(res.Updated), "updates-triggered")
+	}
+}
+
+func BenchmarkFig9OutlierAnalysis(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig9(w)
+		b.ReportMetric(res.MaxAbsDelta("bwaves"), "bwaves-max-delta")
+		b.ReportMetric(res.MaxAbsDelta("sjeng"), "sjeng-max-delta")
+		b.ReportMetric(float64(res.BwavesModes), "bwaves-cpi-modes")
+	}
+}
+
+func BenchmarkGeneticParallelSpeedup(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res := experiments.ParTime(w, []int{1, 4})
+		b.ReportMetric(res.Speedup, "speedup")
+	}
+}
+
+func BenchmarkProfilingCostReduction(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Costs(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Reduction, "reduction-x")
+		b.ReportMetric(res.ExtrapolationReduction, "extrapolation-reduction-x")
+	}
+}
+
+func BenchmarkManualVsAutomated(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Manual(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Improvement, "improvement-%")
+	}
+}
+
+func BenchmarkFig12BlockingTopology(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.BestRow), "best-brow")
+		b.ReportMetric(res.ByRow[7]/res.ByRow[0], "brow8-vs-1")
+	}
+}
+
+func BenchmarkFig13CacheTrends(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LineGain, "line-16-to-128-gain")
+	}
+}
+
+func BenchmarkFig14SpmvAccuracy(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.MedianPerfErr, "perf-medAPE-%")
+		b.ReportMetric(100*res.MedianPowerErr, "power-medAPE-%")
+	}
+}
+
+func BenchmarkFig15Topology(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig15(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Correlation, "cell-correlation")
+	}
+}
+
+func BenchmarkFig16CoordinatedTuning(b *testing.B) {
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig16(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanApp, "app-speedup")
+		b.ReportMetric(res.MeanArch, "arch-speedup")
+		b.ReportMetric(res.MeanCoord, "coord-speedup")
+		b.ReportMetric(res.MeanCoordNJ/res.MeanBaseNJ, "coord-energy-ratio")
+	}
+}
+
+// --- ablations ---------------------------------------------------------------
+
+func benchAblation(b *testing.B, f func(*experiments.Workspace) (experiments.AblationResult, error)) {
+	b.Helper()
+	w := workspace()
+	for i := 0; i < b.N; i++ {
+		res, err := f(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Benefit(), "benefit-x")
+	}
+}
+
+func BenchmarkAblationVarianceStabilization(b *testing.B) {
+	benchAblation(b, experiments.AblationStabilization)
+}
+
+func BenchmarkAblationInteractions(b *testing.B) {
+	benchAblation(b, experiments.AblationInteractions)
+}
+
+func BenchmarkAblationSharding(b *testing.B) {
+	benchAblation(b, experiments.AblationSharding)
+}
+
+func BenchmarkAblationStepwise(b *testing.B) {
+	benchAblation(b, experiments.AblationStepwise)
+}
+
+func BenchmarkAblationDomainSpecific(b *testing.B) {
+	benchAblation(b, experiments.AblationDomainSpecific)
+}
+
+func BenchmarkAblationLogResponse(b *testing.B) {
+	benchAblation(b, experiments.AblationLogResponse)
+}
+
+// --- substrate microbenchmarks ----------------------------------------------
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	app := trace.Bzip2()
+	var in isa.Inst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := app.ShardStream(i%32, 10_000)
+		for st.Next(&in) {
+		}
+	}
+	b.ReportMetric(10_000, "insts/op")
+}
+
+func BenchmarkCPUSimulation(b *testing.B) {
+	app := trace.Bzip2()
+	insts := isa.Collect(app.ShardStream(0, 10_000), 0)
+	sim := cpu.New(hwspace.Baseline())
+	ss := &isa.SliceStream{Insts: insts}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.Reset()
+		sim.Run(ss)
+	}
+	b.ReportMetric(10_000, "insts/op")
+}
+
+func BenchmarkShardProfiling(b *testing.B) {
+	app := trace.Hmmer()
+	insts := isa.Collect(app.ShardStream(0, 10_000), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss := &isa.SliceStream{Insts: insts}
+		profile.Stream(ss, "bench", 0)
+	}
+}
+
+func BenchmarkRegressionFit(b *testing.B) {
+	w := workspace()
+	ds := core.ToDataset(w.TrainingSamples())
+	prep := regress.Prepare(ds, true)
+	spec := regress.Spec{Codes: make([]regress.TransformCode, core.NumVars)}
+	for v := range spec.Codes {
+		spec.Codes[v] = regress.Quadratic
+	}
+	spec.Interactions = []regress.Interaction{{I: 6, J: 17}, {I: 13, J: 14}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := regress.FitSpec(spec, prep, ds, regress.Options{LogResponse: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelPredict(b *testing.B) {
+	w := workspace()
+	m, err := w.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample := w.ValidationSamples()[0]
+	row := sample.Row()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Model().Predict(row)
+	}
+}
+
+func BenchmarkQRFactorization(b *testing.B) {
+	src := rng.New(1)
+	a := linalg.NewMatrix(500, 40)
+	for i := range a.Data {
+		a.Data[i] = src.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.Factor(a, 0)
+	}
+}
+
+func BenchmarkSpMVKernelSimulation(b *testing.B) {
+	spec, err := spmv.ByName("nasasrb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	study := spmv.NewStudy(spec.Scaled(32))
+	cfg := spmv.BaselineCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		study.Simulate(3, 3, cfg)
+	}
+}
+
+func BenchmarkBCSRConversion(b *testing.B) {
+	spec, err := spmv.ByName("crystk02")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := spec.Scaled(32).Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spmv.ToBCSR(m, 3, 3)
+	}
+}

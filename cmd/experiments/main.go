@@ -1,0 +1,130 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [flags] <id>...
+//	experiments -list
+//	experiments all
+//
+// IDs: fig3 fig4 fig5 table3 fig7a fig7b fig7c fig9 fig10 fig12 fig13 fig14
+// fig15 fig16 partime costs manual ablations. The search-anatomy trio (fig4,
+// fig5, table3) shares one genetic search.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hsmodel/internal/experiments"
+)
+
+var order = []string{
+	"fig3", "fig5", "fig4", "table3", "fig7a", "fig10", "fig7b", "fig7c",
+	"fig9", "partime", "costs", "manual",
+	"fig12", "fig13", "fig14", "fig15", "fig16", "ablations",
+}
+
+func main() {
+	var (
+		paper = flag.Bool("paper", false, "run at paper scale (hours) instead of quick scale (minutes)")
+		seed  = flag.Uint64("seed", 1, "master random seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range order {
+			fmt.Println(id)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-paper] [-seed N] <id>...|all  (see -list)")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Quick()
+	if *paper {
+		cfg = experiments.Paper()
+	}
+	cfg.Seed = *seed
+	w := experiments.NewWorkspace(cfg)
+
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = order
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := run(w, id); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(w *experiments.Workspace, id string) error {
+	switch id {
+	case "fig3":
+		experiments.Fig3(w)
+	case "fig4", "fig5", "table3":
+		_, err := experiments.SearchAnatomy(w)
+		return err
+	case "fig7a", "fig8a":
+		_, err := experiments.Fig7a(w)
+		return err
+	case "fig7b", "fig8b":
+		_, err := experiments.Fig7b(w)
+		return err
+	case "fig7c", "fig8c":
+		_, err := experiments.Fig7c(w)
+		return err
+	case "fig9":
+		experiments.Fig9(w)
+	case "fig10":
+		_, err := experiments.Fig10(w)
+		return err
+	case "partime":
+		experiments.ParTime(w, []int{1, 2, 4, 8})
+	case "costs":
+		_, err := experiments.Costs(w)
+		return err
+	case "manual":
+		_, err := experiments.Manual(w)
+		return err
+	case "fig12":
+		_, err := experiments.Fig12(w)
+		return err
+	case "fig13":
+		_, err := experiments.Fig13(w)
+		return err
+	case "fig14":
+		_, err := experiments.Fig14(w)
+		return err
+	case "fig15":
+		_, err := experiments.Fig15(w)
+		return err
+	case "fig16":
+		_, err := experiments.Fig16(w)
+		return err
+	case "ablations":
+		for _, f := range []func(*experiments.Workspace) (experiments.AblationResult, error){
+			experiments.AblationStabilization,
+			experiments.AblationInteractions,
+			experiments.AblationSharding,
+			experiments.AblationStepwise,
+			experiments.AblationDomainSpecific,
+			experiments.AblationLogResponse,
+		} {
+			if _, err := f(w); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q (see -list)", id)
+	}
+	return nil
+}

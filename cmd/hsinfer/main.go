@@ -1,0 +1,152 @@
+// Command hsinfer is the integrated hardware-software modeling tool: it
+// profiles workload shards, trains inferred performance models from sparse
+// samples, persists them as JSON, and answers predictions.
+//
+//	hsinfer profile -app bzip2 -shards 5
+//	hsinfer train   -samples 120 -out model.json
+//	hsinfer predict -model model.json -app astar -shard 3
+//	hsinfer predict -model model.json -app astar -shard 3 -arch 3,5,2,4,3,3,4,0,3,1,2,1,3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hsmodel/internal/core"
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/hwspace"
+	"hsmodel/internal/profile"
+	"hsmodel/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hsinfer:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hsinfer <profile|train|predict> [flags]")
+	os.Exit(2)
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	appName := fs.String("app", "bzip2", "application name")
+	shards := fs.Int("shards", 5, "number of shards to profile")
+	shardLen := fs.Int("shardlen", core.DefaultShardLen, "shard length in instructions")
+	fs.Parse(args)
+
+	app, err := trace.ByName(*appName)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for s := 0; s < *shards; s++ {
+		p := profile.Stream(app.ShardStream(s, *shardLen), app.Name, s)
+		if err := enc.Encode(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	samples := fs.Int("samples", 120, "training (shard, architecture) pairs per application")
+	shardLen := fs.Int("shardlen", 50_000, "shard length in instructions")
+	pop := fs.Int("pop", 36, "genetic population size")
+	gens := fs.Int("gens", 12, "genetic generations")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "model.json", "output model path")
+	fs.Parse(args)
+
+	apps := trace.SPEC2006()
+	col := &core.Collector{ShardLen: *shardLen}
+	fmt.Fprintf(os.Stderr, "collecting %d samples/app across %d applications...\n", *samples, len(apps))
+	m := core.NewModeler(col.Collect(apps, *samples, *seed))
+	m.Search = genetic.Params{PopulationSize: *pop, Generations: *gens, Seed: *seed}
+	fmt.Fprintln(os.Stderr, "training...")
+	if err := m.Train(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "best fitness %.4f, spec: %s\n",
+		m.Population()[0].Fitness, m.Population()[0].Spec)
+
+	if err := m.Save(*out, *shardLen); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "model written to %s\n", *out)
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "trained model path")
+	appName := fs.String("app", "astar", "application name")
+	shard := fs.Int("shard", 0, "shard index")
+	arch := fs.String("arch", "", "13 comma-separated Table 2 level indices (default: baseline)")
+	check := fs.Bool("check", true, "also simulate the pair and report error")
+	fs.Parse(args)
+
+	loaded, shardLen, err := core.Load(*modelPath)
+	if err != nil {
+		return err
+	}
+
+	app, err := trace.ByName(*appName)
+	if err != nil {
+		return err
+	}
+	hw := hwspace.Baseline()
+	if *arch != "" {
+		var ix hwspace.Indices
+		parts := strings.Split(*arch, ",")
+		if len(parts) != hwspace.NumParams {
+			return fmt.Errorf("-arch needs %d indices, got %d", hwspace.NumParams, len(parts))
+		}
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return err
+			}
+			ix[i] = v
+		}
+		hw = hwspace.FromIndices(ix)
+	}
+
+	p := profile.Stream(app.ShardStream(*shard, shardLen), app.Name, *shard)
+	pred, err := loaded.PredictShard(p.X, hw)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s shard %d on %s\n", app.Name, *shard, hw)
+	fmt.Printf("  predicted CPI: %.4f\n", pred)
+	if *check {
+		col := &core.Collector{ShardLen: shardLen}
+		truth := col.CollectPairs([]*trace.App{app}, []int{0}, []int{*shard}, []hwspace.Config{hw})[0].CPI
+		errPct := 100 * (pred - truth) / truth
+		fmt.Printf("  simulated CPI: %.4f (prediction error %+.1f%%)\n", truth, errPct)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+// Command spmvtune runs the Section 5 coordinated hardware-software tuning
+// flow for one Table 4 matrix: sample the integrated SpMV-cache space, train
+// inferred performance/power models, and tune the application (block size),
+// the architecture (cache), or both.
+//
+//	spmvtune -matrix nasasrb
+//	spmvtune -matrix raefsky3 -scale 4 -samples 600 -exhaustive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/spmv"
+)
+
+func main() {
+	var (
+		matrix     = flag.String("matrix", "raefsky3", "Table 4 matrix name")
+		scale      = flag.Int("scale", 16, "matrix scale divisor (1 = published size)")
+		samples    = flag.Int("samples", 300, "training samples for the inferred models")
+		candidates = flag.Int("candidates", 150, "cache configurations considered per search")
+		exhaustive = flag.Bool("exhaustive", false, "rank candidates by simulation instead of the inferred model")
+		seed       = flag.Uint64("seed", 7, "random seed")
+		list       = flag.Bool("list", false, "list matrices and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, ms := range spmv.Corpus() {
+			fmt.Printf("%2d %-10s %7d x %-7d nnz %-8d sparsity %.2e\n",
+				ms.Index, ms.Name, ms.N, ms.N, ms.NNZ,
+				float64(ms.NNZ)/(float64(ms.N)*float64(ms.N)))
+		}
+		return
+	}
+
+	spec, err := spmv.ByName(*matrix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmvtune:", err)
+		os.Exit(1)
+	}
+	spec = spec.Scaled(*scale)
+	study := spmv.NewStudy(spec)
+	fmt.Printf("%s: %d x %d, %d non-zeros (fill at natural block %dx%d: %.3f)\n",
+		spec.Name, study.M.Rows, study.M.Cols, study.M.NNZ(),
+		spec.NBRow, spec.NBCol, study.FillRatio(maxInt(spec.NBRow, 1), maxInt(spec.NBCol, 1)))
+
+	opts := spmv.TuneOptions{Study: study, CacheCandidates: *candidates, Seed: *seed}
+	if !*exhaustive {
+		fmt.Printf("training models on %d samples...\n", *samples)
+		models, err := spmv.TrainModels(spec.Name, study.Sample(*samples, *seed), spmv.TrainOptions{
+			Search: genetic.Params{PopulationSize: 24, Generations: 10, Seed: *seed},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvtune:", err)
+			os.Exit(1)
+		}
+		opts.Models = &models
+	}
+
+	res := spmv.Tune(opts)
+	fmt.Printf("\n%-13s %10s %10s %8s %s\n", "strategy", "Mflop/s", "speedup", "nJ/Flop", "choice")
+	row := func(name string, c spmv.TuneChoice, speedup float64) {
+		fmt.Printf("%-13s %10.1f %9.2fx %8.1f %dx%d on %s\n",
+			name, c.MFlops, speedup, c.NJFlop, c.R, c.C, c.Cfg)
+	}
+	row("baseline", res.Baseline, 1.0)
+	row("app-tuned", res.AppTuned, res.AppSpeedup())
+	row("arch-tuned", res.ArchTuned, res.ArchSpeedup())
+	row("coordinated", res.Coordinated, res.CoordSpeedup())
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+// Quickstart: collect sparse hardware-software profiles, train an inferred
+// performance model with the genetic heuristic, and predict the performance
+// of an unseen (shard, architecture) pair.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hsmodel/internal/core"
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/hwspace"
+	"hsmodel/internal/profile"
+	"hsmodel/internal/rng"
+	"hsmodel/internal/trace"
+)
+
+func main() {
+	// 1. Workloads: the seven SPEC2006 stand-ins.
+	apps := trace.SPEC2006()
+
+	// 2. Sparse profiling: 80 random (shard, architecture) pairs per
+	//    application — a small fraction of the integrated space.
+	collector := &core.Collector{ShardLen: 50_000, ShardPool: 40}
+	fmt.Println("collecting sparse profiles (7 apps x 80 pairs)...")
+	samples := collector.Collect(apps, 80, 42)
+
+	// 3. Automated modeling: the genetic search chooses variables,
+	//    transformations, and interactions.
+	modeler := core.NewModeler(samples)
+	modeler.Search = genetic.Params{PopulationSize: 30, Generations: 8, Seed: 7}
+	fmt.Println("training (genetic search over model specifications)...")
+	if err := modeler.Train(); err != nil {
+		log.Fatal(err)
+	}
+	best := modeler.Population()[0]
+	fmt.Printf("converged: fitness %.3f, spec %s\n\n", best.Fitness, best.Spec)
+
+	// 4. Predict an unseen pair and check it against simulation.
+	src := rng.New(99)
+	hw := hwspace.FromIndices(hwspace.Sample(src))
+	unseen := collector.Collect(apps[0:1], 1, 1234)[0]
+	pred, err := modeler.PredictShard(unseen.X, hw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := collector.CollectPairs(apps, []int{0}, []int{unseen.Shard}, []hwspace.Config{hw})[0].CPI
+	fmt.Printf("astar shard %d on %s\n", unseen.Shard, hw)
+	fmt.Printf("  predicted CPI %.3f, simulated CPI %.3f (error %.1f%%)\n",
+		pred, truth, 100*abs(pred-truth)/truth)
+
+	// 5. Whole-application prediction aggregates shard predictions.
+	var shards []core.Sample
+	for s := 0; s < 10; s++ {
+		shards = append(shards, collector.CollectPairs(apps, []int{2}, []int{s}, []hwspace.Config{hw})[0])
+	}
+	var xs []profile.Characteristics
+	var truthSum float64
+	for _, s := range shards {
+		xs = append(xs, s.X)
+		truthSum += s.CPI
+	}
+	appPred, err := modeler.PredictApplication(xs, hw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bzip2 (10 shards) on the same machine\n")
+	fmt.Printf("  predicted CPI %.3f, simulated CPI %.3f (error %.1f%%)\n",
+		appPred, truthSum/10, 100*abs(appPred-truthSum/10)/(truthSum/10))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module hsmodel
+
+go 1.22

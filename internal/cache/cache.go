@@ -1,0 +1,271 @@
+// Package cache implements the set-associative cache simulator underlying
+// both ground-truth substrates: the two-level hierarchy of the general study
+// (Table 2: L1I/L1D/L2 with configurable size, associativity, and latency)
+// and the reconfigurable single-level cache of the SpMV case study (Table 5:
+// line size, capacity, associativity, and LRU/NMRU/Random replacement).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hsmodel/internal/rng"
+)
+
+// Replacement selects a victim policy (Table 5 y4/y7: LRU, NMRU, RND).
+type Replacement uint8
+
+// Replacement policies.
+const (
+	LRU Replacement = iota
+	NMRU
+	Random
+)
+
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case NMRU:
+		return "NMRU"
+	case Random:
+		return "RND"
+	}
+	return "Unknown"
+}
+
+// ParseReplacement converts a policy name to a Replacement.
+func ParseReplacement(s string) (Replacement, error) {
+	switch s {
+	case "LRU":
+		return LRU, nil
+	case "NMRU":
+		return NMRU, nil
+	case "RND", "Random":
+		return Random, nil
+	}
+	return 0, fmt.Errorf("cache: unknown replacement policy %q", s)
+}
+
+// Config describes one cache.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	Policy    Replacement
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int {
+	s := c.SizeBytes / (c.LineBytes * c.Ways)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Validate checks the configuration for consistency (power-of-two geometry).
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.SizeBytes < c.LineBytes*c.Ways {
+		return fmt.Errorf("cache: size %dB smaller than one set (%dB line x %d ways)",
+			c.SizeBytes, c.LineBytes, c.Ways)
+	}
+	for _, v := range []int{c.SizeBytes, c.LineBytes, c.Ways} {
+		if bits.OnesCount(uint(v)) != 1 {
+			return fmt.Errorf("cache: geometry value %d not a power of two", v)
+		}
+	}
+	return nil
+}
+
+// Stats counts cache events. Misses include cold misses; writebacks count
+// dirty evictions (used by the energy model).
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses per access, or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with true LRU/NMRU/Random replacement.
+// It models tags only (no data), which is sufficient for timing and energy.
+type Cache struct {
+	cfg       Config
+	sets      int
+	lineShift uint
+	setMask   uint64
+
+	tags  []uint64 // sets*ways; valid flag in parallel slice
+	valid []bool
+	dirty []bool
+	stamp []uint64 // last-touch clock for LRU/NMRU
+
+	clock uint64
+	rnd   *rng.Source
+	stats Stats
+}
+
+// New builds a cache from cfg. It panics on invalid geometry (configurations
+// come from the enumerated design spaces, so invalid geometry is a
+// programming error, not an input error).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	n := sets * cfg.Ways
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		dirty:     make([]bool, n),
+		stamp:     make([]uint64, n),
+		rnd:       rng.New(uint64(cfg.SizeBytes)*31 + uint64(cfg.Ways)),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.stamp[i] = 0
+		c.tags[i] = 0
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// Access looks up addr, filling on miss, and reports whether it hit.
+// write marks the line dirty (write-allocate, write-back).
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.clock++
+	c.stats.Accesses++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
+	base := set * c.cfg.Ways
+
+	// Probe.
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.stamp[i] = c.clock
+			if write {
+				c.dirty[i] = true
+			}
+			return true
+		}
+	}
+
+	// Miss: pick a victim.
+	c.stats.Misses++
+	victim := c.victim(base)
+	if c.valid[victim] && c.dirty[victim] {
+		c.stats.Writebacks++
+	}
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.dirty[victim] = write
+	c.stamp[victim] = c.clock
+	return false
+}
+
+// Fill inserts the line containing addr without recording an access or a
+// miss — the insertion path used by hardware prefetchers. A resident line is
+// refreshed as most recently used.
+func (c *Cache) Fill(addr uint64) {
+	c.clock++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.stamp[i] = c.clock
+			return
+		}
+	}
+	victim := c.victim(base)
+	if c.valid[victim] && c.dirty[victim] {
+		c.stats.Writebacks++
+	}
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.dirty[victim] = false
+	c.stamp[victim] = c.clock
+}
+
+// Probe reports whether addr is resident without changing any state.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// victim selects the way index (absolute into the arrays) to replace in the
+// set starting at base, preferring invalid ways.
+func (c *Cache) victim(base int) int {
+	ways := c.cfg.Ways
+	for w := 0; w < ways; w++ {
+		if !c.valid[base+w] {
+			return base + w
+		}
+	}
+	switch c.cfg.Policy {
+	case LRU:
+		best := base
+		for w := 1; w < ways; w++ {
+			if c.stamp[base+w] < c.stamp[best] {
+				best = base + w
+			}
+		}
+		return best
+	case NMRU:
+		// Evict a random way that is not the most recently used.
+		if ways == 1 {
+			return base
+		}
+		mru := base
+		for w := 1; w < ways; w++ {
+			if c.stamp[base+w] > c.stamp[mru] {
+				mru = base + w
+			}
+		}
+		v := base + c.rnd.Intn(ways-1)
+		if v >= mru {
+			v++
+		}
+		return v
+	default: // Random
+		return base + c.rnd.Intn(ways)
+	}
+}

@@ -1,0 +1,73 @@
+package cache
+
+// Hierarchy is the two-level hierarchy of the general study's
+// microarchitectures (Table 2): split L1 instruction/data caches backed by a
+// unified L2 and main memory. Latencies are in cycles; the L2 latency is a
+// Table 2 design parameter (y8), the memory latency is fixed.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	L1Latency    int // L1 hit latency
+	L2Latency    int // additional cycles for an L1 miss that hits in L2 (y8)
+	MemLatency   int // additional cycles for an L2 miss
+	// PrefetchDegree is the number of sequential next lines a demand miss
+	// pulls into L1D and L2 (0 disables prefetching). When consecutive
+	// misses are sequential — a detected stream — the prefetcher runs ahead
+	// by 4x the degree, the way hardware stream prefetchers ramp up. Modern
+	// cores ship stream prefetchers; without one, streaming workloads like
+	// bwaves and gemsFDTD would be implausibly memory-bound.
+	PrefetchDegree int
+
+	lastMissLine uint64
+}
+
+// DataAccess performs a load or store lookup and returns the access latency
+// in cycles plus whether the request missed L1 (it then occupies an MSHR in
+// the pipeline model).
+func (h *Hierarchy) DataAccess(addr uint64, write bool) (lat int, l1Miss bool) {
+	if h.L1D.Access(addr, write) {
+		return h.L1Latency, false
+	}
+	h.prefetch(addr)
+	if h.L2.Access(addr, write) {
+		return h.L1Latency + h.L2Latency, true
+	}
+	return h.L1Latency + h.L2Latency + h.MemLatency, true
+}
+
+// prefetch pulls the next lines into L1D and L2, ramping up when the miss
+// continues a sequential stream.
+func (h *Hierarchy) prefetch(addr uint64) {
+	lineBytes := uint64(h.L1D.cfg.LineBytes)
+	line := addr / lineBytes
+	degree := h.PrefetchDegree
+	if line == h.lastMissLine+1 || line == h.lastMissLine+uint64(h.PrefetchDegree)+1 {
+		degree *= 4
+	}
+	h.lastMissLine = line
+	for d := 1; d <= degree; d++ {
+		next := addr + uint64(d)*lineBytes
+		h.L1D.Fill(next)
+		h.L2.Fill(next)
+	}
+}
+
+// InstAccess performs an instruction-fetch lookup for the block containing
+// addr and returns the front-end penalty in cycles beyond a pipelined hit
+// (0 for an L1I hit).
+func (h *Hierarchy) InstAccess(addr uint64) int {
+	if h.L1I.Access(addr, false) {
+		return 0
+	}
+	if h.L2.Access(addr, false) {
+		return h.L2Latency
+	}
+	return h.L2Latency + h.MemLatency
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.lastMissLine = ^uint64(0) - 64
+}

@@ -1,0 +1,244 @@
+// Package core implements the paper's primary contribution: inferred models
+// for integrated hardware-software spaces.
+//
+// It assembles sparse (application shard, architecture) performance profiles
+// into regression datasets over the 26 modeled variables (software
+// characteristics x1–x13 of Table 1 and hardware parameters y1–y13 of
+// Table 2), drives the genetic modeling heuristic with the paper's
+// per-application fitness discipline (Section 3.3's pseudocode), predicts
+// shard and application performance, and implements the inductive model
+// update protocol of Sections 3.2–3.3 for systems perturbed by new software
+// or hardware.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hsmodel/internal/cpu"
+	"hsmodel/internal/hwspace"
+	"hsmodel/internal/isa"
+	"hsmodel/internal/linalg"
+	"hsmodel/internal/profile"
+	"hsmodel/internal/regress"
+	"hsmodel/internal/rng"
+	"hsmodel/internal/trace"
+)
+
+// NumVars is the integrated-space variable count: 13 software + 13 hardware.
+const NumVars = profile.NumCharacteristics + hwspace.NumParams
+
+// DefaultShardLen is the default shard length in dynamic instructions. The
+// paper profiles 10M-instruction shards; 100k is the scaled default so full
+// experiments run in minutes, and every harness accepts the paper-scale
+// value.
+const DefaultShardLen = 100_000
+
+// PaperShardLen is the paper's 10M-instruction shard length.
+const PaperShardLen = 10_000_000
+
+// VarNames returns the 26 variable names in dataset order.
+func VarNames() []string {
+	names := make([]string, 0, NumVars)
+	for i := 0; i < profile.NumCharacteristics; i++ {
+		names = append(names, fmt.Sprintf("x%d", i+1))
+	}
+	for i := 0; i < hwspace.NumParams; i++ {
+		names = append(names, fmt.Sprintf("y%d", i+1))
+	}
+	return names
+}
+
+// IsSoftwareVar reports whether dataset variable v is a software
+// characteristic (vs a hardware parameter).
+func IsSoftwareVar(v int) bool { return v < profile.NumCharacteristics }
+
+// Sample is one sparse profile: a shard's portable software characteristics,
+// the architecture it ran on, and the measured performance.
+type Sample struct {
+	App   string
+	AppID int
+	Shard int
+	X     profile.Characteristics
+	HW    hwspace.Config
+	CPI   float64
+}
+
+// Row returns the 26-element raw variable vector of the sample.
+func (s Sample) Row() []float64 {
+	row := make([]float64, 0, NumVars)
+	row = append(row, s.X[:]...)
+	hw := s.HW.Vector()
+	row = append(row, hw[:]...)
+	return row
+}
+
+// ToDataset converts samples to a regression dataset with CPI as the
+// response and application identity as the row group.
+func ToDataset(samples []Sample) *regress.Dataset {
+	ds := &regress.Dataset{
+		Names: VarNames(),
+		X:     nil,
+		Y:     make([]float64, len(samples)),
+		Group: make([]int, len(samples)),
+	}
+	ds.X = linalg.NewMatrix(len(samples), NumVars)
+	for i, s := range samples {
+		copy(ds.X.Row(i), s.Row())
+		ds.Y[i] = s.CPI
+		ds.Group[i] = s.AppID
+	}
+	return ds
+}
+
+// Collector produces sparse profiles by simulating shards on sampled
+// architectures — the stand-in for a datacenter-wide profiler selectively
+// profiling hardware-software pairs.
+type Collector struct {
+	// ShardLen is the shard length in instructions (DefaultShardLen if 0).
+	ShardLen int
+	// ShardPool is how many distinct shard indices per application are
+	// sampled from (60 if 0). Shards are drawn uniformly from the pool, so
+	// every phase of the application timeline is represented.
+	ShardPool int
+	// Workers bounds parallel simulations (GOMAXPROCS if 0).
+	Workers int
+
+	mu       sync.Mutex
+	profiles map[string]profile.Characteristics // (app,shard) -> portable profile
+}
+
+func (c *Collector) shardLen() int {
+	if c.ShardLen <= 0 {
+		return DefaultShardLen
+	}
+	return c.ShardLen
+}
+
+func (c *Collector) shardPool() int {
+	if c.ShardPool <= 0 {
+		return 60
+	}
+	return c.ShardPool
+}
+
+func (c *Collector) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// profileShard returns the microarchitecture-independent profile of one
+// shard, cached: a shard profiled once is shared across every architecture
+// (Section 2.2's portability argument made concrete).
+func (c *Collector) profileShard(app *trace.App, shard int) profile.Characteristics {
+	key := fmt.Sprintf("%s/%d/%d", app.Name, shard, c.shardLen())
+	c.mu.Lock()
+	if c.profiles == nil {
+		c.profiles = make(map[string]profile.Characteristics)
+	}
+	if x, ok := c.profiles[key]; ok {
+		c.mu.Unlock()
+		return x
+	}
+	c.mu.Unlock()
+
+	p := profile.Stream(app.ShardStream(shard, c.shardLen()), app.Name, shard)
+
+	c.mu.Lock()
+	c.profiles[key] = p.X
+	c.mu.Unlock()
+	return p.X
+}
+
+// request is one (application, shard, architecture) measurement to take.
+type request struct {
+	app   *trace.App
+	appID int
+	shard int
+	hw    hwspace.Config
+}
+
+// Collect takes samplesPerApp uniform random (shard, architecture) profiles
+// for each application. Simulation fans out across the worker pool; results
+// are returned in a deterministic order given the seed.
+func (c *Collector) Collect(apps []*trace.App, samplesPerApp int, seed uint64) []Sample {
+	src := rng.New(seed)
+	var reqs []request
+	for appID, app := range apps {
+		appSrc := src.Fork(uint64(appID))
+		for k := 0; k < samplesPerApp; k++ {
+			reqs = append(reqs, request{
+				app:   app,
+				appID: appID,
+				shard: appSrc.Intn(c.shardPool()),
+				hw:    hwspace.FromIndices(hwspace.Sample(appSrc)),
+			})
+		}
+	}
+	return c.run(reqs)
+}
+
+// CollectPairs measures an explicit list of (app, shard, architecture)
+// triples, preserving order.
+func (c *Collector) CollectPairs(apps []*trace.App, appIDs, shards []int, hws []hwspace.Config) []Sample {
+	if len(appIDs) != len(shards) || len(shards) != len(hws) {
+		panic("core: CollectPairs length mismatch")
+	}
+	reqs := make([]request, len(appIDs))
+	for i := range appIDs {
+		reqs[i] = request{app: apps[appIDs[i]], appID: appIDs[i], shard: shards[i], hw: hws[i]}
+	}
+	return c.run(reqs)
+}
+
+// run measures all requests. Requests are grouped by (application, shard)
+// so each shard's instruction trace is generated once and replayed for every
+// architecture — the in-memory analogue of the paper's portable profiles.
+func (c *Collector) run(reqs []request) []Sample {
+	type groupKey struct {
+		appID, shard int
+	}
+	groups := make(map[groupKey][]int)
+	var order []groupKey
+	for i, r := range reqs {
+		k := groupKey{r.appID, r.shard}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+
+	out := make([]Sample, len(reqs))
+	sem := make(chan struct{}, c.workers())
+	var wg sync.WaitGroup
+	for _, k := range order {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(idxs []int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r := reqs[idxs[0]]
+			insts := isa.Collect(r.app.ShardStream(r.shard, c.shardLen()), 0)
+			ss := &isa.SliceStream{Insts: insts}
+			x := c.profileShard(r.app, r.shard)
+			for _, i := range idxs {
+				req := reqs[i]
+				ss.Reset()
+				res := cpu.New(req.hw).Run(ss)
+				out[i] = Sample{
+					App:   req.app.Name,
+					AppID: req.appID,
+					Shard: req.shard,
+					X:     x,
+					HW:    req.hw,
+					CPI:   res.CPI(),
+				}
+			}
+		}(groups[k])
+	}
+	wg.Wait()
+	return out
+}

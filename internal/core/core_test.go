@@ -1,0 +1,293 @@
+package core
+
+import (
+	"testing"
+
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/hwspace"
+	"hsmodel/internal/profile"
+	"hsmodel/internal/regress"
+	"hsmodel/internal/rng"
+	"hsmodel/internal/trace"
+)
+
+// testShardLen keeps unit tests fast; experiments use DefaultShardLen.
+const testShardLen = 20_000
+
+func smallApps() []*trace.App {
+	return []*trace.App{trace.Bzip2(), trace.Hmmer(), trace.Sjeng()}
+}
+
+func smallCollector() *Collector {
+	return &Collector{ShardLen: testShardLen, ShardPool: 20}
+}
+
+func TestVarNames(t *testing.T) {
+	names := VarNames()
+	if len(names) != NumVars || NumVars != 26 {
+		t.Fatalf("%d names for %d vars", len(names), NumVars)
+	}
+	if names[0] != "x1" || names[12] != "x13" || names[13] != "y1" || names[25] != "y13" {
+		t.Errorf("names mis-ordered: %v", names)
+	}
+	if !IsSoftwareVar(0) || !IsSoftwareVar(12) || IsSoftwareVar(13) {
+		t.Error("IsSoftwareVar boundary wrong")
+	}
+}
+
+func TestSampleRowLayout(t *testing.T) {
+	s := Sample{HW: hwspace.Baseline(), CPI: 1.5}
+	s.X[0] = 42
+	row := s.Row()
+	if len(row) != NumVars {
+		t.Fatalf("row length %d", len(row))
+	}
+	if row[0] != 42 {
+		t.Error("software characteristics must come first")
+	}
+	if row[13] != float64(hwspace.Baseline().Width) {
+		t.Error("hardware vector must follow software characteristics")
+	}
+}
+
+func TestToDataset(t *testing.T) {
+	samples := []Sample{
+		{App: "a", AppID: 0, CPI: 1.0, HW: hwspace.Baseline()},
+		{App: "b", AppID: 1, CPI: 2.0, HW: hwspace.Baseline()},
+	}
+	ds := ToDataset(samples)
+	if err := ds.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 2 || ds.Y[1] != 2.0 || ds.Group[1] != 1 {
+		t.Error("dataset mapping wrong")
+	}
+}
+
+func TestCollectDeterministicAndGrouped(t *testing.T) {
+	apps := smallApps()
+	a := smallCollector().Collect(apps, 4, 99)
+	b := smallCollector().Collect(apps, 4, 99)
+	if len(a) != 12 || len(b) != 12 {
+		t.Fatalf("collected %d, %d samples", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].CPI != b[i].CPI || a[i].X != b[i].X || a[i].HW != b[i].HW {
+			t.Fatalf("sample %d differs between identical collections", i)
+		}
+	}
+	// Per-app grouping and sane CPI.
+	for _, s := range a {
+		if s.CPI <= 0.1 || s.CPI > 50 {
+			t.Errorf("%s CPI %v implausible", s.App, s.CPI)
+		}
+		if apps[s.AppID].Name != s.App {
+			t.Errorf("app id %d mislabeled %s", s.AppID, s.App)
+		}
+	}
+}
+
+func TestProfileCacheSharedAcrossArchitectures(t *testing.T) {
+	// Two samples of the same shard on different architectures must carry
+	// identical software characteristics (portability, Section 2.2).
+	apps := smallApps()
+	col := smallCollector()
+	src := rng.New(1)
+	hw1 := hwspace.FromIndices(hwspace.Sample(src))
+	hw2 := hwspace.FromIndices(hwspace.Sample(src))
+	samples := col.CollectPairs(apps, []int{0, 0}, []int{3, 3}, []hwspace.Config{hw1, hw2})
+	if samples[0].X != samples[1].X {
+		t.Error("same shard produced different profiles on different architectures")
+	}
+	if samples[0].CPI == samples[1].CPI {
+		t.Error("different architectures should usually give different CPI")
+	}
+}
+
+func trainSmallModeler(t *testing.T) (*Modeler, []Sample) {
+	t.Helper()
+	apps := smallApps()
+	col := smallCollector()
+	train := col.Collect(apps, 40, 1)
+	valid := col.Collect(apps, 10, 2)
+	m := NewModeler(train)
+	m.Search = genetic.Params{PopulationSize: 16, Generations: 5, Seed: 42}
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	return m, valid
+}
+
+func TestModelerTrainAndInterpolate(t *testing.T) {
+	m, valid := trainSmallModeler(t)
+	met, err := m.EvaluateOn(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even this tiny setup should interpolate well; the full-scale
+	// experiment reproduces the paper's 5%.
+	if met.MedAPE > 0.15 {
+		t.Errorf("interpolation medAPE %v too high", met.MedAPE)
+	}
+	if met.Pearson < 0.8 {
+		t.Errorf("correlation %v too low", met.Pearson)
+	}
+	if len(m.History()) != 5 {
+		t.Errorf("history %d generations", len(m.History()))
+	}
+	if m.Model() == nil || len(m.Population()) != 16 {
+		t.Error("model/population not retained")
+	}
+}
+
+func TestPredictShardAndApplication(t *testing.T) {
+	m, valid := trainSmallModeler(t)
+	hw := hwspace.Baseline()
+	p1, err := m.PredictShard(valid[0].X, hw)
+	if err != nil || p1 <= 0 {
+		t.Fatalf("PredictShard = %v, %v", p1, err)
+	}
+	app, err := m.PredictApplication(
+		[]profile.Characteristics{valid[0].X, valid[1].X, valid[2].X}, hw)
+	if err != nil || app <= 0 {
+		t.Fatalf("PredictApplication = %v, %v", app, err)
+	}
+	// Application CPI is the mean of shard predictions.
+	var sum float64
+	for _, x := range []profile.Characteristics{valid[0].X, valid[1].X, valid[2].X} {
+		p, _ := m.PredictShard(x, hw)
+		sum += p
+	}
+	if diff := app - sum/3; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("application aggregation wrong: %v vs %v", app, sum/3)
+	}
+}
+
+func TestUntrainedModelerErrors(t *testing.T) {
+	m := NewModeler(nil)
+	if err := m.Train(); err == nil {
+		t.Error("training on no samples should fail")
+	}
+	if _, err := m.PredictShard(profile.Characteristics{}, hwspace.Baseline()); err == nil {
+		t.Error("prediction before training should fail")
+	}
+	if _, err := m.PredictApplication(nil, hwspace.Baseline()); err == nil {
+		t.Error("empty application prediction should fail")
+	}
+	if _, err := m.Perturb([]Sample{{}}, UpdatePolicy{}); err == nil {
+		t.Error("Perturb before Train should fail")
+	}
+}
+
+func TestPerturbAccurateRetainsModel(t *testing.T) {
+	m, _ := trainSmallModeler(t)
+	// More samples of already-trained applications: the model should be
+	// retained (their behavior is shared).
+	more := smallCollector().Collect(smallApps(), 8, 77)
+	d, err := m.Perturb(more, UpdatePolicy{ErrThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Updated || d.NeedsMoreData {
+		t.Errorf("familiar software should not trigger update: %v", d)
+	}
+	if len(m.Samples) != 120+24 {
+		t.Errorf("samples not absorbed: %d", len(m.Samples))
+	}
+}
+
+func TestPerturbInaccurateFewSamplesAccrues(t *testing.T) {
+	m, _ := trainSmallModeler(t)
+	// A genuinely new application (FP-heavy bwaves) with too few profiles:
+	// the protocol must withhold the update (the error could be an
+	// outlier).
+	col := smallCollector()
+	novel := col.Collect([]*trace.App{trace.Bwaves()}, 3, 5)
+	for i := range novel {
+		novel[i].AppID = 3
+	}
+	d, err := m.Perturb(novel, UpdatePolicy{ErrThreshold: 0.01, MinProfiles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.NeedsMoreData || d.Updated {
+		t.Errorf("3 inaccurate profiles should accrue, not update: %v", d)
+	}
+}
+
+func TestPerturbTriggersUpdate(t *testing.T) {
+	m, _ := trainSmallModeler(t)
+	col := smallCollector()
+	novel := col.Collect([]*trace.App{trace.GemsFDTD()}, 15, 6)
+	for i := range novel {
+		novel[i].AppID = 3
+	}
+	before := m.Model()
+	d, err := m.Perturb(novel, UpdatePolicy{ErrThreshold: 0.0001, MinProfiles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Updated {
+		t.Fatalf("update should trigger: %v", d)
+	}
+	if m.Model() == before {
+		t.Error("model not refit after update")
+	}
+	if d.String() == "" {
+		t.Error("decision should render")
+	}
+}
+
+func TestUpdateWarmStartsFromPopulation(t *testing.T) {
+	m, valid := trainSmallModeler(t)
+	firstBest := m.Population()[0].Fitness
+	m.AddSamples(smallCollector().Collect(smallApps(), 10, 30))
+	if err := m.Update(); err != nil {
+		t.Fatal(err)
+	}
+	met, err := m.EvaluateOn(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.MedAPE > 0.2 {
+		t.Errorf("post-update accuracy degraded badly: %v", met)
+	}
+	_ = firstBest // the warm start is observable through convergence speed
+}
+
+func TestSumOfMedianErrors(t *testing.T) {
+	m := NewModeler([]Sample{{AppID: 0}, {AppID: 1}, {AppID: 1}, {AppID: 2}})
+	if got := m.SumOfMedianErrors(0.05); got < 0.1499 || got > 0.1501 {
+		t.Errorf("SumOfMedianErrors = %v, want 0.15", got)
+	}
+}
+
+func TestFitnessSplitsExcludeValidation(t *testing.T) {
+	// The evaluator must put weight 0 on validation rows so that candidate
+	// models never train on them.
+	samples := smallCollector().Collect(smallApps(), 20, 12)
+	ds := ToDataset(samples)
+	ev := newEvaluator(ds, FitnessConfig{}, true, true)
+	zeroed := 0
+	for _, w := range ev.weights {
+		if w == 0 {
+			zeroed++
+		}
+	}
+	total := 0
+	for _, rows := range ev.valRows {
+		total += len(rows)
+	}
+	if zeroed == 0 || zeroed != total {
+		t.Errorf("validation rows %d but %d zero weights", total, zeroed)
+	}
+	// Fitness of a reasonable spec must be finite and positive.
+	spec := regress.Spec{Codes: make([]regress.TransformCode, NumVars)}
+	for i := range spec.Codes {
+		spec.Codes[i] = regress.Linear
+	}
+	f := ev.Fitness(spec)
+	if f <= 0 || f > 10 {
+		t.Errorf("fitness %v implausible", f)
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/hwspace"
+	"hsmodel/internal/profile"
+	"hsmodel/internal/regress"
+	"hsmodel/internal/rng"
+	"hsmodel/internal/stats"
+)
+
+// FitnessConfig tunes the per-application fitness evaluation of the paper's
+// pseudocode (Section 3.3):
+//
+//	foreach software s in S:
+//	    split P_s into training T_s, validation V_s
+//	    fit m using {P_-s, T_s} x w
+//	    software fitness f_s = m's accuracy on V_s
+//	model fitness f_m = mean over s of f_s
+type FitnessConfig struct {
+	// TrainFrac is the fraction of each application's rows in T_s
+	// (default 0.7).
+	TrainFrac float64
+	// Weight is the w applied to T_s rows in the weighted fit (default 2).
+	Weight float64
+	// TermPenalty is added to fitness per design column (default 0.0004).
+	// Parsimony pressure keeps the search from memorizing per-application
+	// clusters with large specifications — smaller models extrapolate to
+	// new software far better, which is the point of Section 4.4.
+	TermPenalty float64
+	// Seed determinizes the splits.
+	Seed uint64
+}
+
+func (f FitnessConfig) withDefaults() FitnessConfig {
+	if f.TrainFrac <= 0 || f.TrainFrac >= 1 {
+		f.TrainFrac = 0.7
+	}
+	if f.Weight <= 0 {
+		f.Weight = 2
+	}
+	if f.TermPenalty <= 0 {
+		f.TermPenalty = 0.0004
+	}
+	return f
+}
+
+// Modeler is the system model of the paper: it owns the accumulated sparse
+// profiles, trains and updates the integrated hardware-software regression
+// model via genetic search, and answers performance predictions.
+type Modeler struct {
+	// Samples is the accumulated profile store (the paper's P).
+	Samples []Sample
+	// Search configures the genetic heuristic.
+	Search genetic.Params
+	// Fitness configures per-application splits and weights.
+	Fitness FitnessConfig
+	// Stabilize applies ladder-of-powers variance stabilization (on by
+	// default through NewModeler; the ablation bench turns it off).
+	Stabilize bool
+	// LogResponse fits log CPI (on by default through NewModeler).
+	LogResponse bool
+
+	model      *regress.Model
+	population []genetic.Individual // final population, for warm-started updates
+	history    []genetic.GenStats
+}
+
+// NewModeler returns a modeler with the paper's defaults.
+func NewModeler(samples []Sample) *Modeler {
+	return &Modeler{
+		Samples:     samples,
+		Stabilize:   true,
+		LogResponse: true,
+		Fitness:     FitnessConfig{}.withDefaults(),
+	}
+}
+
+// Model returns the fitted model, or nil before Train.
+func (m *Modeler) Model() *regress.Model { return m.model }
+
+// Population returns the final genetic population from the last search.
+func (m *Modeler) Population() []genetic.Individual { return m.population }
+
+// History returns per-generation convergence statistics (Figure 5).
+func (m *Modeler) History() []genetic.GenStats { return m.history }
+
+// ErrNoSamples is returned by Train with an empty profile store.
+var ErrNoSamples = errors.New("core: no samples to train on")
+
+// evaluator implements genetic.Evaluator with the paper's inner loops. It
+// precomputes the per-application row split once so all candidate models are
+// scored on identical data.
+type evaluator struct {
+	ds          *regress.Dataset
+	prep        *regress.Prep
+	opts        regress.Options
+	apps        []int   // distinct app IDs
+	valRows     [][]int // validation rows per app (parallel to apps)
+	weights     []float64
+	termPenalty float64
+}
+
+func newEvaluator(ds *regress.Dataset, fc FitnessConfig, stabilize, logResponse bool) *evaluator {
+	fc = fc.withDefaults()
+	ev := &evaluator{ds: ds, prep: regress.Prepare(ds, stabilize), termPenalty: fc.TermPenalty}
+
+	// Deterministic split of each application's rows into T_s / V_s.
+	byApp := make(map[int][]int)
+	for r, g := range ds.Group {
+		byApp[g] = append(byApp[g], r)
+	}
+	ev.apps = make([]int, 0, len(byApp))
+	for g := range byApp {
+		ev.apps = append(ev.apps, g)
+	}
+	sort.Ints(ev.apps)
+
+	ev.weights = make([]float64, ds.NumRows())
+	for i := range ev.weights {
+		ev.weights[i] = 1
+	}
+	src := rng.New(fc.Seed ^ 0x5eed5eed)
+	for _, g := range ev.apps {
+		rows := byApp[g]
+		perm := src.Perm(len(rows))
+		cut := int(float64(len(rows)) * fc.TrainFrac)
+		var val []int
+		for k, pi := range perm {
+			r := rows[pi]
+			if k < cut {
+				ev.weights[r] = fc.Weight // T_s rows, weighted w
+			} else {
+				val = append(val, r)
+				ev.weights[r] = 0 // V_s rows excluded from every fit
+			}
+		}
+		sort.Ints(val)
+		ev.valRows = append(ev.valRows, val)
+	}
+
+	ev.opts = regress.Options{LogResponse: logResponse, Weights: ev.weights}
+	return ev
+}
+
+// Fitness returns the mean over applications of the median absolute
+// percentage error on that application's validation rows. Lower is better.
+// Degenerate fits (rank failures) return a large penalty.
+func (ev *evaluator) Fitness(spec regress.Spec) float64 {
+	model, err := regress.FitSpec(spec, ev.prep, ev.ds, ev.opts)
+	if err != nil {
+		return 1e6
+	}
+	var sum float64
+	var n int
+	for i := range ev.apps {
+		val := ev.valRows[i]
+		if len(val) == 0 {
+			continue
+		}
+		pred := make([]float64, len(val))
+		truth := make([]float64, len(val))
+		for k, r := range val {
+			pred[k] = model.Predict(ev.ds.X.Row(r))
+			truth[k] = ev.ds.Y[r]
+		}
+		sum += stats.MedianAbsPctError(pred, truth)
+		n++
+	}
+	if n == 0 {
+		return 1e6
+	}
+	return sum/float64(n) + ev.termPenalty*float64(len(model.Coef))
+}
+
+// SumOfMedianErrors converts a fitness value back to the paper's Figure 5
+// metric ("median errors summed for 7 applications"): fitness is the mean,
+// so the sum is fitness times the application count.
+func (m *Modeler) SumOfMedianErrors(fitness float64) float64 {
+	seen := make(map[int]bool)
+	for _, s := range m.Samples {
+		seen[s.AppID] = true
+	}
+	return fitness * float64(len(seen))
+}
+
+// Train runs the genetic search on the current samples and fits the final
+// model on all rows.
+func (m *Modeler) Train() error {
+	return m.train(nil)
+}
+
+// Update re-specifies and refits the model after the sample store changed,
+// warm-starting the search from the previous population (Section 3.3: "we
+// invoke a heuristic to re-specify and perform a weighted fit of the
+// model"). Update on an untrained modeler is equivalent to Train.
+func (m *Modeler) Update() error {
+	var seeds []regress.Spec
+	for _, ind := range m.population {
+		seeds = append(seeds, ind.Spec)
+	}
+	return m.train(seeds)
+}
+
+func (m *Modeler) train(initial []regress.Spec) error {
+	if len(m.Samples) == 0 {
+		return ErrNoSamples
+	}
+	ds := ToDataset(m.Samples)
+	ev := newEvaluator(ds, m.Fitness, m.Stabilize, m.LogResponse)
+
+	params := m.Search
+	params.Initial = initial
+	m.history = nil
+	params.OnGeneration = func(gs genetic.GenStats) {
+		m.history = append(m.history, gs)
+		if m.Search.OnGeneration != nil {
+			m.Search.OnGeneration(gs)
+		}
+	}
+	res := genetic.Search(NumVars, ev, params)
+	m.population = res.Population
+
+	// Final fit: best specification, all rows, uniform weights.
+	model, err := regress.FitSpec(res.Best.Spec, ev.prep, ds, regress.Options{
+		LogResponse: m.LogResponse,
+	})
+	if err != nil {
+		return fmt.Errorf("core: final fit failed: %w", err)
+	}
+	m.model = model
+	return nil
+}
+
+// PredictShard predicts the CPI of a shard with characteristics x on
+// hardware hw.
+func (m *Modeler) PredictShard(x profile.Characteristics, hw hwspace.Config) (float64, error) {
+	if m.model == nil {
+		return 0, errors.New("core: model not trained")
+	}
+	s := Sample{X: x, HW: hw}
+	return m.model.Predict(s.Row()), nil
+}
+
+// PredictApplication predicts whole-application CPI on hw by predicting each
+// constituent shard and aggregating (shards have equal instruction counts,
+// so application CPI is the mean of shard CPIs). "A few inaccurate shard
+// predictions have a small effect on the end-to-end prediction."
+func (m *Modeler) PredictApplication(shards []profile.Characteristics, hw hwspace.Config) (float64, error) {
+	if len(shards) == 0 {
+		return 0, errors.New("core: no shards to predict")
+	}
+	var sum float64
+	for _, x := range shards {
+		p, err := m.PredictShard(x, hw)
+		if err != nil {
+			return 0, err
+		}
+		sum += p
+	}
+	return sum / float64(len(shards)), nil
+}
+
+// EvaluateOn measures model accuracy on held-out samples.
+func (m *Modeler) EvaluateOn(samples []Sample) (regress.Metrics, error) {
+	if m.model == nil {
+		return regress.Metrics{}, errors.New("core: model not trained")
+	}
+	return m.model.Evaluate(ToDataset(samples)), nil
+}
+
+// AddSamples appends new profiles to the store (they take effect at the next
+// Train or Update).
+func (m *Modeler) AddSamples(samples []Sample) {
+	m.Samples = append(m.Samples, samples...)
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"hsmodel/internal/regress"
+)
+
+// SavedModel is the serializable form of a trained integrated model: the
+// fitted regression (specification, preprocessing, coefficients — all
+// self-contained) plus the shard length its profiles were measured at, so a
+// loaded model profiles new shards consistently.
+type SavedModel struct {
+	// Version guards the on-disk format.
+	Version int `json:"version"`
+	// ShardLen is the profiling shard length in instructions.
+	ShardLen int `json:"shard_len"`
+	// Model is the fitted regression over the 26 integrated variables.
+	Model *regress.Model `json:"model"`
+}
+
+// savedModelVersion is the current format version.
+const savedModelVersion = 1
+
+// Save serializes the trained model to path as indented JSON.
+func (m *Modeler) Save(path string, shardLen int) error {
+	if m.model == nil {
+		return errors.New("core: Save before Train")
+	}
+	if shardLen <= 0 {
+		shardLen = DefaultShardLen
+	}
+	data, err := json.MarshalIndent(SavedModel{
+		Version:  savedModelVersion,
+		ShardLen: shardLen,
+		Model:    m.model,
+	}, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a model saved by Save. The returned Modeler predicts but holds
+// no samples; call AddSamples and Update to continue training it.
+func Load(path string) (*Modeler, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var saved SavedModel
+	if err := json.Unmarshal(data, &saved); err != nil {
+		return nil, 0, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if saved.Version != savedModelVersion {
+		return nil, 0, fmt.Errorf("core: model format version %d, want %d", saved.Version, savedModelVersion)
+	}
+	if saved.Model == nil || saved.Model.Prep == nil || len(saved.Model.Coef) == 0 {
+		return nil, 0, errors.New("core: saved model is incomplete")
+	}
+	if saved.Model.Prep.NumVars() != NumVars {
+		return nil, 0, fmt.Errorf("core: saved model has %d variables, want %d",
+			saved.Model.Prep.NumVars(), NumVars)
+	}
+	m := NewModeler(nil)
+	m.model = saved.Model
+	return m, saved.ShardLen, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, valid := trainSmallModeler(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path, testShardLen); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, shardLen, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shardLen != testShardLen {
+		t.Errorf("shard length %d, want %d", shardLen, testShardLen)
+	}
+	// Predictions must match the in-memory model exactly.
+	for _, s := range valid[:5] {
+		want, err1 := m.PredictShard(s.X, s.HW)
+		got, err2 := loaded.PredictShard(s.X, s.HW)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if want != got {
+			t.Fatalf("round-trip prediction %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSaveBeforeTrainFails(t *testing.T) {
+	m := NewModeler(nil)
+	if err := m.Save(filepath.Join(t.TempDir(), "m.json"), 0); err == nil {
+		t.Error("Save before Train should fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"notjson.json": "not json at all",
+		"empty.json":   `{"version":1,"shard_len":100}`,
+		"badver.json":  `{"version":99,"shard_len":100,"model":{}}`,
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Load(p); err == nil {
+			t.Errorf("%s: Load should fail", name)
+		}
+	}
+	if _, _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

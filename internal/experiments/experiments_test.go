@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// tinyConfig shrinks everything so the integration suite runs in seconds.
+// Accuracy thresholds below are correspondingly loose — the full-scale
+// assertions live in bench_test.go and EXPERIMENTS.md.
+func tinyConfig() Config {
+	cfg := Quick()
+	cfg.ShardLen = 20_000
+	cfg.ShardPool = 24
+	cfg.TrainPerApp = 40
+	cfg.ValidationPairs = 42
+	cfg.Pop = 16
+	cfg.Generations = 4
+	cfg.SpmvScale = 64
+	cfg.SpmvTrain = 120
+	cfg.SpmvValidation = 40
+	cfg.Out = io.Discard
+	return cfg
+}
+
+func tinyWorkspace(t *testing.T) *Workspace {
+	t.Helper()
+	return NewWorkspace(tinyConfig())
+}
+
+func TestFig3StabilizationReducesSkew(t *testing.T) {
+	res := Fig3(tinyWorkspace(t))
+	if res.Power >= 1 {
+		t.Errorf("chosen power %v, want < 1 for long-tailed data", res.Power)
+	}
+	if res.SkewAfter >= res.SkewBefore {
+		t.Errorf("skewness did not drop: %v -> %v", res.SkewBefore, res.SkewAfter)
+	}
+	if res.TailRatio < 1.5 {
+		t.Errorf("tail ratio %v, want a visible long tail", res.TailRatio)
+	}
+}
+
+func TestSearchAnatomyAndInterpolation(t *testing.T) {
+	w := tinyWorkspace(t)
+	anatomy, err := SearchAnatomy(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anatomy.History) != w.Cfg.Generations {
+		t.Errorf("history %d generations", len(anatomy.History))
+	}
+	first, last := anatomy.History[0], anatomy.History[len(anatomy.History)-1]
+	if last > first {
+		t.Errorf("search got worse: %v -> %v", first, last)
+	}
+	if len(anatomy.Consensus) != 26 {
+		t.Errorf("consensus over %d vars", len(anatomy.Consensus))
+	}
+
+	acc, err := Fig7a(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Metrics.MedAPE > 0.20 {
+		t.Errorf("interpolation medAPE %v too high even at tiny scale", acc.Metrics.MedAPE)
+	}
+	if acc.Metrics.Pearson < 0.7 {
+		t.Errorf("interpolation correlation %v too low", acc.Metrics.Pearson)
+	}
+}
+
+func TestFig9BwavesIsOutlier(t *testing.T) {
+	res := Fig9(tinyWorkspace(t))
+	if res.MaxAbsDelta("bwaves") <= res.MaxAbsDelta("sjeng") {
+		t.Errorf("bwaves delta %v should exceed sjeng delta %v",
+			res.MaxAbsDelta("bwaves"), res.MaxAbsDelta("sjeng"))
+	}
+	if res.CPIBwaves.Total == 0 || res.CPIOthers.Total == 0 {
+		t.Error("CPI histograms empty")
+	}
+}
+
+func TestFig12RaefskyShape(t *testing.T) {
+	res, err := Fig12(tinyWorkspace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: 8 block rows maximize performance.
+	if res.BestRow != 8 {
+		t.Errorf("best brow = %d, want 8", res.BestRow)
+	}
+	// Aligned sizes carry no fill; misaligned ones do.
+	if res.FillByRow[7] > 1.02 {
+		t.Errorf("8x1 fill %v, want ~1", res.FillByRow[7])
+	}
+	if res.FillByRow[6] < 1.05 {
+		t.Errorf("7x1 fill %v, want > 1.05", res.FillByRow[6])
+	}
+}
+
+func TestFig13LineSizeTrend(t *testing.T) {
+	res, err := Fig13(tinyWorkspace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LineGain < 1.5 {
+		t.Errorf("line-size gain %v, want strong streaming-bandwidth effect", res.LineGain)
+	}
+	if res.ByLine[128] <= res.ByLine[16] {
+		t.Error("larger lines should raise mean performance")
+	}
+}
+
+func TestFig15TopologyAgreement(t *testing.T) {
+	res, err := Fig15(tinyWorkspace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correlation < 0.8 {
+		t.Errorf("profiled/predicted correlation %v too low", res.Correlation)
+	}
+	// Natural-block peak beats unblocked; far-misaligned 7x7 is worse than
+	// not blocking at all (the discontinuity claim).
+	if res.Profiled[2][2] <= res.Profiled[0][0] {
+		t.Error("3x3 should beat 1x1 for nasasrb")
+	}
+	if res.Profiled[6][6] >= res.Profiled[0][0] {
+		t.Error("7x7 should be worse than not blocking")
+	}
+}
+
+func TestAblationSharding(t *testing.T) {
+	res, err := AblationSharding(tinyWorkspace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit() < 1.0 {
+		t.Errorf("shard-level profiles should not hurt: benefit %v", res.Benefit())
+	}
+}
+
+func TestWorkspaceCaching(t *testing.T) {
+	w := tinyWorkspace(t)
+	a := w.TrainingSamples()
+	b := w.TrainingSamples()
+	if &a[0] != &b[0] {
+		t.Error("training samples re-collected")
+	}
+	m1, err := w.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := w.Model()
+	if m1 != m2 {
+		t.Error("model retrained")
+	}
+}
+
+func TestPaperConfigScales(t *testing.T) {
+	p := Paper()
+	if p.ShardLen != 10_000_000 || p.TrainPerApp != 360 || p.SpmvScale != 1 {
+		t.Errorf("paper config wrong: %+v", p)
+	}
+	q := Quick()
+	if q.ShardLen >= p.ShardLen || q.TrainPerApp >= p.TrainPerApp {
+		t.Error("quick config should be smaller than paper config")
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hsmodel/internal/core"
+	"hsmodel/internal/stats"
+)
+
+// histogramText renders a histogram as an ASCII bar chart.
+func histogramText(h stats.Histogram) string {
+	var b strings.Builder
+	maxCount := 1
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*40/maxCount)
+		fmt.Fprintf(&b, "    %12.4g | %-40s %d\n", h.BinCenter(i), bar, c)
+	}
+	return b.String()
+}
+
+func printHistogramTo(out io.Writer, label string, h stats.Histogram) {
+	fmt.Fprintf(out, "%s histogram (n=%d):\n%s", label, h.Total, histogramText(h))
+}
+
+// printAccuracy renders an AccuracyResult as the paper's boxplot-plus-
+// correlation readout.
+func printAccuracy(out io.Writer, title string, res AccuracyResult) {
+	fmt.Fprintf(out, "%s\n", title)
+	e := res.Errors
+	fmt.Fprintf(out, "  error boxplot (%%): min=%.1f q1=%.1f median=%.1f q3=%.1f max=%.1f (n=%d)\n",
+		100*e.Min, 100*e.Q1, 100*e.Median, 100*e.Q3, 100*e.Max, e.N)
+	fmt.Fprintf(out, "  correlation: pearson=%.3f spearman=%.3f R2=%.3f\n",
+		res.Metrics.Pearson, res.Metrics.Spearman, res.Metrics.R2)
+	if len(res.PerApp) > 0 {
+		apps := make([]string, 0, len(res.PerApp))
+		for a := range res.PerApp {
+			apps = append(apps, a)
+		}
+		sort.Strings(apps)
+		fmt.Fprintf(out, "  per-application median error:")
+		for _, a := range apps {
+			fmt.Fprintf(out, " %s=%.1f%%", a, 100*res.PerApp[a])
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// printInteractionRegions summarizes the Figure 4 matrix by region and lists
+// the most frequent pairs.
+func printInteractionRegions(out io.Writer, freq [][]int) {
+	type pair struct {
+		i, j, n int
+	}
+	var pairs []pair
+	var swsw, swhw, hwhw int
+	for i := 0; i < len(freq); i++ {
+		for j := i + 1; j < len(freq); j++ {
+			n := freq[i][j]
+			if n == 0 {
+				continue
+			}
+			pairs = append(pairs, pair{i, j, n})
+			switch {
+			case core.IsSoftwareVar(i) && core.IsSoftwareVar(j):
+				swsw += n
+			case !core.IsSoftwareVar(i) && !core.IsSoftwareVar(j):
+				hwhw += n
+			default:
+				swhw += n
+			}
+		}
+	}
+	fmt.Fprintf(out, "  region totals: sw-sw=%d sw-hw=%d hw-hw=%d\n", swsw, swhw, hwhw)
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].n > pairs[b].n })
+	names := core.VarNames()
+	limit := 12
+	if len(pairs) < limit {
+		limit = len(pairs)
+	}
+	fmt.Fprintf(out, "  most frequent pairs:")
+	for _, p := range pairs[:limit] {
+		fmt.Fprintf(out, " %s*%s(%d)", names[p.i], names[p.j], p.n)
+	}
+	fmt.Fprintln(out)
+}

@@ -1,0 +1,430 @@
+// Package genetic implements the paper's automated modeling heuristic
+// (Sections 2.4 and 3.4): a genetic search over model specifications.
+//
+// Each chromosome encodes, per variable, a genetic value 0–4 (excluded,
+// linear, quadratic, cubic, or piecewise-cubic with three inflection
+// points) plus a dynamically sized list of pairwise interactions i–j.
+// Populations evolve under three crossover operators and two mutation
+// operators, each applied with the paper's experimentally effective
+// probabilities (12.5% per crossover, 5% per mutation):
+//
+//	C1: single variable randomly exchanged between two chromosomes
+//	C2: interaction randomly exchanged between two chromosomes
+//	C3: interaction randomly created using single variables from two chromosomes
+//	M1: interaction randomly changed for a chromosome
+//	M2: single variable randomly changed for a chromosome
+//
+// The best N% of each generation survives; the rest of the next generation
+// is bred by crossover and mutation. Fitness evaluation — the inner loops of
+// the paper's pseudocode — is delegated to an Evaluator and parallelized
+// across a worker pool (the paper used R's doMC/Multicore; a generation with
+// n candidate models is embarrassingly parallel).
+package genetic
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"hsmodel/internal/regress"
+	"hsmodel/internal/rng"
+)
+
+// Evaluator scores a model specification. Fitness is an error measure:
+// LOWER IS BETTER (the paper uses mean per-application validation error).
+// Implementations must be safe for concurrent use.
+type Evaluator interface {
+	Fitness(spec regress.Spec) float64
+}
+
+// EvaluatorFunc adapts a function to the Evaluator interface.
+type EvaluatorFunc func(spec regress.Spec) float64
+
+// Fitness implements Evaluator.
+func (f EvaluatorFunc) Fitness(spec regress.Spec) float64 { return f(spec) }
+
+// Params configures the search. Zero fields take the documented defaults.
+type Params struct {
+	PopulationSize  int     // default 60
+	Generations     int     // default 20, where the paper sees diminishing returns
+	ElitePct        float64 // surviving fraction per generation; default 0.25
+	CrossoverProb   float64 // per-operator crossover probability; default 0.125
+	MutationProb    float64 // per-operator mutation probability; default 0.05
+	MaxInteractions int     // chromosome growth cap; default 24
+	TournamentSize  int     // parent-selection tournament; default 3
+	Seed            uint64
+	Workers         int // parallel fitness evaluations; default GOMAXPROCS
+	// Initial seeds the starting population (model updates warm-start from
+	// the previous population, Section 3.3). Remaining slots are random.
+	Initial []regress.Spec
+	// OnGeneration, if non-nil, is called after each generation with that
+	// generation's statistics (for convergence reporting, Figure 5).
+	OnGeneration func(GenStats)
+}
+
+func (p Params) withDefaults() Params {
+	if p.PopulationSize <= 0 {
+		p.PopulationSize = 60
+	}
+	if p.Generations <= 0 {
+		p.Generations = 20
+	}
+	if p.ElitePct <= 0 || p.ElitePct >= 1 {
+		p.ElitePct = 0.25
+	}
+	if p.CrossoverProb <= 0 {
+		p.CrossoverProb = 0.125
+	}
+	if p.MutationProb <= 0 {
+		p.MutationProb = 0.05
+	}
+	if p.MaxInteractions <= 0 {
+		p.MaxInteractions = 24
+	}
+	if p.TournamentSize <= 0 {
+		p.TournamentSize = 3
+	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Individual is a scored chromosome.
+type Individual struct {
+	Spec    regress.Spec
+	Fitness float64
+}
+
+// GenStats summarizes one generation.
+type GenStats struct {
+	Gen   int
+	Best  float64
+	Mean  float64
+	Evals int // cumulative fitness evaluations (cache misses)
+}
+
+// Result reports a completed search.
+type Result struct {
+	Best       Individual
+	Population []Individual // final generation, best first
+	History    []GenStats
+	Evals      int
+}
+
+// TopK returns the k best individuals of the final population.
+func (r *Result) TopK(k int) []Individual {
+	if k > len(r.Population) {
+		k = len(r.Population)
+	}
+	return r.Population[:k]
+}
+
+// Search runs the genetic algorithm over specs with numVars variables.
+func Search(numVars int, eval Evaluator, p Params) *Result {
+	p = p.withDefaults()
+	src := rng.New(p.Seed)
+	cache := newFitnessCache(eval, p.Workers)
+
+	pop := make([]Individual, 0, p.PopulationSize)
+	for _, s := range p.Initial {
+		if len(pop) == p.PopulationSize {
+			break
+		}
+		if s.Validate(numVars) == nil {
+			pop = append(pop, Individual{Spec: s.Clone()})
+		}
+	}
+	for len(pop) < p.PopulationSize {
+		pop = append(pop, Individual{Spec: randomSpec(numVars, src, p.MaxInteractions)})
+	}
+
+	res := &Result{}
+	for g := 0; g < p.Generations; g++ {
+		cache.scoreAll(pop)
+		sortPopulation(pop)
+		var sum float64
+		for _, ind := range pop {
+			sum += ind.Fitness
+		}
+		gs := GenStats{Gen: g, Best: pop[0].Fitness, Mean: sum / float64(len(pop)), Evals: cache.misses()}
+		res.History = append(res.History, gs)
+		if p.OnGeneration != nil {
+			p.OnGeneration(gs)
+		}
+		if g == p.Generations-1 {
+			break
+		}
+
+		// Elitist survival; breed the remainder.
+		elite := int(float64(p.PopulationSize) * p.ElitePct)
+		if elite < 1 {
+			elite = 1
+		}
+		next := make([]Individual, 0, p.PopulationSize)
+		for i := 0; i < elite; i++ {
+			next = append(next, Individual{Spec: pop[i].Spec.Clone()})
+		}
+		for len(next) < p.PopulationSize {
+			a := tournament(pop, src, p.TournamentSize)
+			b := tournament(pop, src, p.TournamentSize)
+			child := breed(a.Spec, b.Spec, src, p)
+			next = append(next, Individual{Spec: child})
+		}
+		pop = next
+	}
+
+	res.Population = pop
+	res.Best = pop[0]
+	res.Evals = cache.misses()
+	return res
+}
+
+// sortPopulation orders by fitness ascending with a deterministic tie-break
+// on the spec rendering, so searches are reproducible across runs.
+func sortPopulation(pop []Individual) {
+	sort.SliceStable(pop, func(i, j int) bool {
+		if pop[i].Fitness != pop[j].Fitness {
+			return pop[i].Fitness < pop[j].Fitness
+		}
+		return pop[i].Spec.String() < pop[j].Spec.String()
+	})
+}
+
+// tournament picks the best of k random individuals.
+func tournament(pop []Individual, src *rng.Source, k int) Individual {
+	best := pop[src.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[src.Intn(len(pop))]
+		if c.Fitness < best.Fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+// randomSpec draws a random chromosome. Roughly a third of variables start
+// excluded so initial models stay small enough to fit on sparse data.
+func randomSpec(numVars int, src *rng.Source, maxInteractions int) regress.Spec {
+	s := regress.Spec{Codes: make([]regress.TransformCode, numVars)}
+	for v := range s.Codes {
+		if src.Bool(0.35) {
+			s.Codes[v] = regress.Excluded
+		} else {
+			s.Codes[v] = regress.TransformCode(1 + src.Intn(int(regress.NumTransformCodes)-1))
+		}
+	}
+	ensureNonEmpty(&s, src)
+	n := src.Intn(numVars/2 + 1)
+	if n > maxInteractions {
+		n = maxInteractions
+	}
+	for i := 0; i < n; i++ {
+		addInteraction(&s, randomInteraction(numVars, src), maxInteractions)
+	}
+	return s
+}
+
+// randomInteraction draws a random pair of distinct variables.
+func randomInteraction(numVars int, src *rng.Source) regress.Interaction {
+	i := src.Intn(numVars)
+	j := src.Intn(numVars - 1)
+	if j >= i {
+		j++
+	}
+	return regress.Interaction{I: i, J: j}.Canon()
+}
+
+// addInteraction appends in if absent and under the cap, reporting success.
+func addInteraction(s *regress.Spec, in regress.Interaction, cap int) bool {
+	in = in.Canon()
+	if len(s.Interactions) >= cap {
+		return false
+	}
+	for _, e := range s.Interactions {
+		if e.Canon() == in {
+			return false
+		}
+	}
+	s.Interactions = append(s.Interactions, in)
+	return true
+}
+
+// ensureNonEmpty guarantees at least one included variable.
+func ensureNonEmpty(s *regress.Spec, src *rng.Source) {
+	for _, c := range s.Codes {
+		if c != regress.Excluded {
+			return
+		}
+	}
+	s.Codes[src.Intn(len(s.Codes))] = regress.Linear
+}
+
+// breed clones parent a and applies the paper's crossover and mutation
+// operators against parent b.
+func breed(a, b regress.Spec, src *rng.Source, p Params) regress.Spec {
+	child := a.Clone()
+	numVars := len(child.Codes)
+
+	// C1: single variable exchanged between chromosomes.
+	if src.Bool(p.CrossoverProb) {
+		v := src.Intn(numVars)
+		child.Codes[v] = b.Codes[v]
+	}
+	// C2: interaction exchanged between chromosomes.
+	if src.Bool(p.CrossoverProb) && len(child.Interactions) > 0 && len(b.Interactions) > 0 {
+		k := src.Intn(len(child.Interactions))
+		child.Interactions[k] = b.Interactions[src.Intn(len(b.Interactions))].Canon()
+		dedupeInteractions(&child)
+	}
+	// C3: interaction created from single variables of the two parents.
+	if src.Bool(p.CrossoverProb) {
+		va := randomIncludedVar(a, src)
+		vb := randomIncludedVar(b, src)
+		if va >= 0 && vb >= 0 && va != vb {
+			addInteraction(&child, regress.Interaction{I: va, J: vb}, p.MaxInteractions)
+		}
+	}
+	// M1: interaction randomly changed.
+	if src.Bool(p.MutationProb) && len(child.Interactions) > 0 {
+		k := src.Intn(len(child.Interactions))
+		child.Interactions[k] = randomInteraction(numVars, src)
+		dedupeInteractions(&child)
+	}
+	// M2: single variable randomly changed.
+	if src.Bool(p.MutationProb) {
+		v := src.Intn(numVars)
+		child.Codes[v] = regress.TransformCode(src.Intn(int(regress.NumTransformCodes)))
+	}
+
+	ensureNonEmpty(&child, src)
+	return child
+}
+
+// randomIncludedVar returns a random non-excluded variable index of s, or -1.
+func randomIncludedVar(s regress.Spec, src *rng.Source) int {
+	var included []int
+	for v, c := range s.Codes {
+		if c != regress.Excluded {
+			included = append(included, v)
+		}
+	}
+	if len(included) == 0 {
+		return -1
+	}
+	return included[src.Intn(len(included))]
+}
+
+// dedupeInteractions removes duplicate pairs, keeping first occurrences.
+func dedupeInteractions(s *regress.Spec) {
+	seen := make(map[regress.Interaction]bool, len(s.Interactions))
+	out := s.Interactions[:0]
+	for _, in := range s.Interactions {
+		c := in.Canon()
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	s.Interactions = out
+}
+
+// fitnessCache memoizes evaluations and fans them out across workers.
+type fitnessCache struct {
+	eval    Evaluator
+	workers int
+
+	mu    sync.Mutex
+	known map[string]float64
+	miss  int
+}
+
+func newFitnessCache(eval Evaluator, workers int) *fitnessCache {
+	return &fitnessCache{eval: eval, workers: workers, known: make(map[string]float64)}
+}
+
+func specKey(s regress.Spec) string {
+	var b strings.Builder
+	for _, c := range s.Codes {
+		fmt.Fprintf(&b, "%d,", c)
+	}
+	ins := make([]regress.Interaction, len(s.Interactions))
+	for i, in := range s.Interactions {
+		ins[i] = in.Canon()
+	}
+	sort.Slice(ins, func(i, j int) bool {
+		if ins[i].I != ins[j].I {
+			return ins[i].I < ins[j].I
+		}
+		return ins[i].J < ins[j].J
+	})
+	for _, in := range ins {
+		fmt.Fprintf(&b, "|%d-%d", in.I, in.J)
+	}
+	return b.String()
+}
+
+func (fc *fitnessCache) misses() int {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.miss
+}
+
+// scoreAll fills in Fitness for every individual, evaluating cache misses in
+// parallel.
+func (fc *fitnessCache) scoreAll(pop []Individual) {
+	type job struct {
+		idx int
+		key string
+	}
+	var jobs []job
+	fc.mu.Lock()
+	for i := range pop {
+		key := specKey(pop[i].Spec)
+		if f, ok := fc.known[key]; ok {
+			pop[i].Fitness = f
+		} else {
+			jobs = append(jobs, job{idx: i, key: key})
+		}
+	}
+	fc.mu.Unlock()
+	if len(jobs) == 0 {
+		return
+	}
+
+	// Deduplicate identical pending specs so each is evaluated once.
+	pending := make(map[string][]int)
+	var order []string
+	for _, j := range jobs {
+		if _, ok := pending[j.key]; !ok {
+			order = append(order, j.key)
+		}
+		pending[j.key] = append(pending[j.key], j.idx)
+	}
+
+	sem := make(chan struct{}, fc.workers)
+	var wg sync.WaitGroup
+	results := make([]float64, len(order))
+	for k, key := range order {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k int, spec regress.Spec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[k] = fc.eval.Fitness(spec)
+		}(k, pop[pending[key][0]].Spec)
+	}
+	wg.Wait()
+
+	fc.mu.Lock()
+	for k, key := range order {
+		fc.known[key] = results[k]
+		fc.miss++
+		for _, idx := range pending[key] {
+			pop[idx].Fitness = results[k]
+		}
+	}
+	fc.mu.Unlock()
+}

@@ -1,0 +1,55 @@
+package genetic
+
+import "hsmodel/internal/regress"
+
+// InteractionFrequency counts how often each pairwise interaction appears in
+// the given individuals — the two-dimensional histogram of Figure 4 ("how
+// often a particular pairwise interaction appears in the 50 best models").
+// The returned matrix is symmetric with freq[i][j] == freq[j][i].
+func InteractionFrequency(inds []Individual, numVars int) [][]int {
+	freq := make([][]int, numVars)
+	for i := range freq {
+		freq[i] = make([]int, numVars)
+	}
+	for _, ind := range inds {
+		for _, in := range ind.Spec.Interactions {
+			c := in.Canon()
+			freq[c.I][c.J]++
+			freq[c.J][c.I]++
+		}
+	}
+	return freq
+}
+
+// TransformVote tallies, per variable, how many of the given individuals use
+// each transform code — the raw data behind Table 3's converged
+// transformation assignments.
+func TransformVote(inds []Individual, numVars int) [][int(regress.NumTransformCodes)]int {
+	votes := make([][int(regress.NumTransformCodes)]int, numVars)
+	for _, ind := range inds {
+		for v, c := range ind.Spec.Codes {
+			votes[v][c]++
+		}
+	}
+	return votes
+}
+
+// TransformConsensus returns, per variable, the most common transform code
+// among the given individuals (ties break toward the simpler transform),
+// reproducing Table 3's per-variable summary.
+func TransformConsensus(inds []Individual, numVars int) []regress.TransformCode {
+	votes := TransformVote(inds, numVars)
+	out := make([]regress.TransformCode, numVars)
+	for v := range out {
+		best := regress.Excluded
+		bestN := votes[v][0]
+		for c := 1; c < int(regress.NumTransformCodes); c++ {
+			if votes[v][c] > bestN {
+				bestN = votes[v][c]
+				best = regress.TransformCode(c)
+			}
+		}
+		out[v] = best
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package genetic
+
+import "hsmodel/internal/regress"
+
+// Stepwise is the baseline the paper argues against: forward stepwise model
+// construction that considers one term at a time ("Unlike stepwise
+// regression, which considers only one term at a time, crossovers and
+// mutation in genetic algorithms support a rapid search of possible
+// models"). It greedily adds the single variable-transform or interaction
+// whose addition most improves fitness, stopping when no candidate improves
+// or the evaluation budget is exhausted.
+//
+// It shares the Evaluator contract with Search so the two are directly
+// comparable at equal evaluation budgets (the ablation bench does exactly
+// that).
+func Stepwise(numVars int, eval Evaluator, maxEvals int) *Result {
+	spec := regress.Spec{Codes: make([]regress.TransformCode, numVars)}
+	res := &Result{}
+	evals := 0
+
+	score := func(s regress.Spec) float64 {
+		evals++
+		return eval.Fitness(s)
+	}
+
+	// Start from the best single linear term.
+	best := Individual{Fitness: inf()}
+	for v := 0; v < numVars && evals < maxEvals; v++ {
+		s := spec.Clone()
+		s.Codes[v] = regress.Linear
+		if f := score(s); f < best.Fitness {
+			best = Individual{Spec: s, Fitness: f}
+		}
+	}
+
+	for evals < maxEvals {
+		improved := false
+		cur := best
+
+		// Candidate moves: upgrade/add a variable transform...
+		for v := 0; v < numVars && evals < maxEvals; v++ {
+			for c := regress.Linear; c <= regress.Spline3; c++ {
+				if cur.Spec.Codes[v] == c {
+					continue
+				}
+				s := cur.Spec.Clone()
+				s.Codes[v] = c
+				if f := score(s); f < best.Fitness {
+					best = Individual{Spec: s, Fitness: f}
+					improved = true
+				}
+				if evals >= maxEvals {
+					break
+				}
+			}
+		}
+		// ...or add one interaction between included variables.
+		for i := 0; i < numVars && evals < maxEvals; i++ {
+			if cur.Spec.Codes[i] == regress.Excluded {
+				continue
+			}
+			for j := i + 1; j < numVars && evals < maxEvals; j++ {
+				if cur.Spec.Codes[j] == regress.Excluded {
+					continue
+				}
+				s := cur.Spec.Clone()
+				if !addInteraction(&s, regress.Interaction{I: i, J: j}, 1<<30) {
+					continue
+				}
+				if f := score(s); f < best.Fitness {
+					best = Individual{Spec: s, Fitness: f}
+					improved = true
+				}
+			}
+		}
+
+		res.History = append(res.History, GenStats{
+			Gen: len(res.History), Best: best.Fitness, Evals: evals,
+		})
+		if !improved {
+			break
+		}
+	}
+
+	res.Best = best
+	res.Population = []Individual{best}
+	res.Evals = evals
+	return res
+}
+
+func inf() float64 { return 1e308 }

@@ -1,0 +1,75 @@
+// Package power models cache and memory energy for the SpMV case study,
+// substituting for the paper's CACTI 6.0 cache estimates and Micron DDR2
+// power data (Section 5.3).
+//
+// The model preserves the trade-off structure the paper's Figure 16 turns
+// on: dynamic cache energy grows with capacity, associativity, and line
+// size; off-chip transfers cost 6 nJ per 64-bit word (the paper's own
+// number, from Micron TN-47-04), so larger lines move more data per miss and
+// raise memory energy even when they help performance; and blocking, by
+// cutting misses, reduces both latency and energy.
+package power
+
+import "math"
+
+// Per-word DRAM transfer energy, from the paper: "memory transfers, which
+// cost 6nJ per 64b double-precision word".
+const DRAMWordEnergyNJ = 6.0
+
+// WordBytes is the transfer word size the DRAM energy is quoted against.
+const WordBytes = 8
+
+// Cache energy model constants, calibrated so a 16 KB 2-way cache with 32 B
+// lines costs ~0.1 nJ per access — the CACTI ballpark for small low-voltage
+// SRAM at the paper's 400 MHz design point.
+const (
+	baseAccessNJ = 0.10
+	refSizeKB    = 16.0
+	refWays      = 2.0
+	refLineBytes = 32.0
+)
+
+// CacheAccessEnergyNJ returns dynamic energy per access in nanojoules for a
+// cache of the given geometry. Scaling exponents follow CACTI trends:
+// energy grows sublinearly with capacity (longer bitlines/wordlines), nearly
+// linearly with associativity (parallel tag+data way reads), and mildly with
+// line size (wider data arrays).
+func CacheAccessEnergyNJ(sizeBytes, ways, lineBytes int) float64 {
+	sizeKB := float64(sizeBytes) / 1024
+	return baseAccessNJ *
+		math.Pow(sizeKB/refSizeKB, 0.5) *
+		math.Pow(float64(ways)/refWays, 0.7) *
+		math.Pow(float64(lineBytes)/refLineBytes, 0.3)
+}
+
+// CacheLeakageNJPerCycle returns leakage energy per cycle in nanojoules,
+// proportional to capacity. At 400 MHz a 64 KB array leaks on the order of
+// 10 mW, i.e. 0.025 nJ/cycle.
+func CacheLeakageNJPerCycle(sizeBytes int) float64 {
+	return 0.025 * float64(sizeBytes) / (64 * 1024)
+}
+
+// LineTransferEnergyNJ returns the energy to move one cache line to or from
+// memory.
+func LineTransferEnergyNJ(lineBytes int) float64 {
+	return DRAMWordEnergyNJ * float64(lineBytes) / WordBytes
+}
+
+// Breakdown itemizes energy for one kernel execution, all in nanojoules.
+type Breakdown struct {
+	DCacheDynamic float64
+	ICacheDynamic float64
+	MemTransfer   float64
+	Leakage       float64
+	CoreDynamic   float64
+}
+
+// Total returns the summed energy in nanojoules.
+func (b Breakdown) Total() float64 {
+	return b.DCacheDynamic + b.ICacheDynamic + b.MemTransfer + b.Leakage + b.CoreDynamic
+}
+
+// CoreOpEnergyNJ is the dynamic energy per executed instruction-equivalent
+// in the in-order SpMV core (datapath + register file), a small constant
+// next to memory costs.
+const CoreOpEnergyNJ = 0.05

@@ -1,0 +1,50 @@
+package power
+
+import "testing"
+
+func TestCacheAccessEnergyMonotonic(t *testing.T) {
+	base := CacheAccessEnergyNJ(16<<10, 2, 32)
+	if base <= 0 {
+		t.Fatalf("reference energy %v", base)
+	}
+	// Calibration point: ~0.1 nJ for the reference geometry.
+	if base < 0.05 || base > 0.2 {
+		t.Errorf("reference access energy %v outside CACTI ballpark", base)
+	}
+	if CacheAccessEnergyNJ(64<<10, 2, 32) <= base {
+		t.Error("bigger cache should cost more per access")
+	}
+	if CacheAccessEnergyNJ(16<<10, 8, 32) <= base {
+		t.Error("higher associativity should cost more per access")
+	}
+	if CacheAccessEnergyNJ(16<<10, 2, 128) <= base {
+		t.Error("wider lines should cost more per access")
+	}
+}
+
+func TestLineTransferEnergy(t *testing.T) {
+	// The paper's constant: 6 nJ per 64-bit word.
+	if got := LineTransferEnergyNJ(8); got != 6 {
+		t.Errorf("one-word line transfer %v, want 6", got)
+	}
+	if got := LineTransferEnergyNJ(64); got != 48 {
+		t.Errorf("64B line transfer %v, want 48", got)
+	}
+}
+
+func TestLeakageScalesWithCapacity(t *testing.T) {
+	small := CacheLeakageNJPerCycle(8 << 10)
+	big := CacheLeakageNJPerCycle(256 << 10)
+	if big <= small || small <= 0 {
+		t.Errorf("leakage %v -> %v not scaling", small, big)
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{
+		DCacheDynamic: 1, ICacheDynamic: 2, MemTransfer: 3, Leakage: 4, CoreDynamic: 5,
+	}
+	if b.Total() != 15 {
+		t.Errorf("total %v", b.Total())
+	}
+}

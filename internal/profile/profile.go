@@ -1,0 +1,231 @@
+// Package profile implements the paper's shard-level,
+// microarchitecture-independent software profiler (Sections 2.1–2.2,
+// Table 1). A profiler consumes a dynamic instruction stream — the paper
+// instrumented gem5's commit stage to get the same stream regardless of the
+// out-of-order engine; here the stream comes straight from the workload
+// generator, which is equivalent by construction — and produces the thirteen
+// characteristics x1..x13:
+//
+//	x1  # control instructions            x8  avg re-use distance, 64B d-blocks
+//	x2  # taken branches                  x9  avg re-use distance, 64B i-blocks
+//	x3  # floating-point ALU              x10 producer→consumer distance, FP ALU
+//	x4  # floating-point mul/div          x11 producer→consumer distance, FP mul
+//	x5  # integer mul/div                 x12 producer→consumer distance, int mul
+//	x6  # integer ALU                     x13 avg basic-block size
+//	x7  # memory operations
+//
+// Counts (x1–x7) are reported per kilo-instruction so profiles are
+// comparable across shard lengths; distances (x8–x12) are in dynamic
+// instructions, as the paper defines re-use distance ("the number of
+// instructions separating two consecutive accesses to the same data block").
+package profile
+
+import (
+	"fmt"
+
+	"hsmodel/internal/isa"
+)
+
+// NumCharacteristics is the number of software characteristics in Table 1.
+const NumCharacteristics = 13
+
+// Characteristic indices into Characteristics (0-based; the paper's x_i is
+// index i-1).
+const (
+	XControl = iota
+	XTakenBranches
+	XFPALU
+	XFPMulDiv
+	XIntMulDiv
+	XIntALU
+	XMemory
+	XDReuse
+	XIReuse
+	XFPALUDist
+	XFPMulDist
+	XIntMulDist
+	XBasicBlock
+)
+
+// Names gives the paper's description for each characteristic, indexed as
+// above.
+var Names = [NumCharacteristics]string{
+	"x1 #Control",
+	"x2 #TakenBranches",
+	"x3 #FloatALU",
+	"x4 #FloatMulDiv",
+	"x5 #IntMulDiv",
+	"x6 #IntALU",
+	"x7 #Memory",
+	"x8 d-reuse distance (64B)",
+	"x9 i-reuse distance (64B)",
+	"x10 FPALU producer-consumer dist",
+	"x11 FPMul producer-consumer dist",
+	"x12 IntMul producer-consumer dist",
+	"x13 avg basic block size",
+}
+
+// Characteristics holds the thirteen Table 1 measures for one shard.
+type Characteristics [NumCharacteristics]float64
+
+// ShardProfile is the portable profile of one application shard plus the
+// auxiliary 256-byte-block sum-of-reuse-distances used in Figure 3's
+// variance-stabilization study.
+type ShardProfile struct {
+	App         string
+	Shard       int
+	Insts       int
+	X           Characteristics
+	SumReuse256 float64
+}
+
+func (p ShardProfile) String() string {
+	return fmt.Sprintf("%s/shard%d: %v", p.App, p.Shard, p.X)
+}
+
+// blockBytes is the 64B block granularity of x8/x9; wideBlockBytes is the
+// 256B granularity of the Figure 3 sum-of-distances characteristic.
+const (
+	blockBytes     = 64
+	wideBlockBytes = 256
+)
+
+// Profiler accumulates characteristics over a stream. The zero value is
+// ready to use.
+type Profiler struct {
+	insts      int64
+	classCount [isa.NumClasses]int64
+	taken      int64
+
+	dLast    map[uint64]int64 // 64B data block -> last access instruction index
+	iLast    map[uint64]int64 // 64B inst block -> last access instruction index
+	d256Last map[uint64]int64 // 256B data block -> last access instruction index
+
+	dReuseSum, iReuseSum float64
+	dReuseN, iReuseN     int64
+	sumReuse256          float64
+	prodDistSum          [isa.NumClasses]float64
+	prodDistN            [isa.NumClasses]int64
+	recentClasses        [isa.MaxDepDistance + 1]isa.Class
+}
+
+// Observe feeds one instruction into the profiler. Instructions must be
+// presented in program order.
+func (pr *Profiler) Observe(in *isa.Inst) {
+	if pr.dLast == nil {
+		pr.dLast = make(map[uint64]int64, 1<<12)
+		pr.iLast = make(map[uint64]int64, 1<<10)
+		pr.d256Last = make(map[uint64]int64, 1<<10)
+	}
+	idx := pr.insts
+	pr.classCount[in.Class]++
+	if in.Class == isa.Branch && in.Taken {
+		pr.taken++
+	}
+	if in.Class.IsMemory() {
+		pr.reuse(pr.dLast, in.Addr/blockBytes, idx, &pr.dReuseSum, &pr.dReuseN)
+		b256 := in.Addr / wideBlockBytes
+		if last, ok := pr.d256Last[b256]; ok {
+			pr.sumReuse256 += float64(idx - last)
+		}
+		pr.d256Last[b256] = idx
+	}
+	pr.reuse(pr.iLast, in.PC/blockBytes, idx, &pr.iReuseSum, &pr.iReuseN)
+
+	// Producer→consumer distances, attributed to the producer's class
+	// (Table 1 x10–x12). The producer's class comes from a ring of recent
+	// classes; distances beyond the ring carry no dependence by contract.
+	pr.observeDep(idx, in.Dep1)
+	pr.observeDep(idx, in.Dep2)
+	pr.recentClasses[idx%int64(len(pr.recentClasses))] = in.Class
+	pr.insts++
+}
+
+func (pr *Profiler) observeDep(idx int64, dist int32) {
+	if dist <= 0 || int64(dist) > idx || dist > isa.MaxDepDistance {
+		return
+	}
+	producer := idx - int64(dist)
+	cls := pr.recentClasses[producer%int64(len(pr.recentClasses))]
+	pr.prodDistSum[cls] += float64(dist)
+	pr.prodDistN[cls]++
+}
+
+func (pr *Profiler) reuse(last map[uint64]int64, block uint64, idx int64, sum *float64, n *int64) {
+	if prev, ok := last[block]; ok {
+		*sum += float64(idx - prev)
+		*n++
+	}
+	last[block] = idx
+}
+
+// Finish returns the accumulated shard profile. app and shard label the
+// result; they do not affect the measurements.
+func (pr *Profiler) Finish(app string, shard int) ShardProfile {
+	n := pr.insts
+	if n == 0 {
+		return ShardProfile{App: app, Shard: shard}
+	}
+	perKilo := func(c int64) float64 { return 1000 * float64(c) / float64(n) }
+	avg := func(sum float64, cnt int64) float64 {
+		if cnt == 0 {
+			return 0
+		}
+		return sum / float64(cnt)
+	}
+	var x Characteristics
+	control := pr.classCount[isa.Branch]
+	x[XControl] = perKilo(control)
+	x[XTakenBranches] = perKilo(pr.taken)
+	x[XFPALU] = perKilo(pr.classCount[isa.FPALU])
+	x[XFPMulDiv] = perKilo(pr.classCount[isa.FPMulDiv])
+	x[XIntMulDiv] = perKilo(pr.classCount[isa.IntMulDiv])
+	x[XIntALU] = perKilo(pr.classCount[isa.IntALU])
+	x[XMemory] = perKilo(pr.classCount[isa.Load] + pr.classCount[isa.Store])
+	x[XDReuse] = avg(pr.dReuseSum, pr.dReuseN)
+	x[XIReuse] = avg(pr.iReuseSum, pr.iReuseN)
+	x[XFPALUDist] = avg(pr.prodDistSum[isa.FPALU], pr.prodDistN[isa.FPALU])
+	x[XFPMulDist] = avg(pr.prodDistSum[isa.FPMulDiv], pr.prodDistN[isa.FPMulDiv])
+	x[XIntMulDist] = avg(pr.prodDistSum[isa.IntMulDiv], pr.prodDistN[isa.IntMulDiv])
+	if control > 0 {
+		x[XBasicBlock] = float64(n) / float64(control)
+	} else {
+		x[XBasicBlock] = float64(n)
+	}
+	return ShardProfile{
+		App:         app,
+		Shard:       shard,
+		Insts:       int(n),
+		X:           x,
+		SumReuse256: pr.sumReuse256,
+	}
+}
+
+// Stream profiles an entire instruction stream.
+func Stream(st isa.Stream, app string, shard int) ShardProfile {
+	var pr Profiler
+	var in isa.Inst
+	for st.Next(&in) {
+		pr.Observe(&in)
+	}
+	return pr.Finish(app, shard)
+}
+
+// MeanCharacteristics averages a set of shard profiles characteristic-wise —
+// the "monolithic application profile" the paper contrasts sharding against
+// (Section 2.1), also used for the Figure 9 outlier analysis.
+func MeanCharacteristics(profiles []ShardProfile) Characteristics {
+	var mean Characteristics
+	if len(profiles) == 0 {
+		return mean
+	}
+	for _, p := range profiles {
+		for i, v := range p.X {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(len(profiles))
+	}
+	return mean
+}

@@ -1,0 +1,175 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+
+	"hsmodel/internal/linalg"
+	"hsmodel/internal/stats"
+)
+
+// Prep holds the per-variable preprocessing learned from training data:
+// the variance-stabilizing power (ladder of powers, Section 3.1), the
+// standardization moments of the stabilized values, and the spline knot
+// locations (placed at the 20th/50th/80th percentiles, Harrell's default
+// placement for three knots).
+type Prep struct {
+	Names  []string
+	Powers []float64
+	Means  []float64
+	Sds    []float64
+	Knots  [][3]float64
+	// ZLo and ZHi bound each variable's standardized training range.
+	// Prediction inputs are clamped to this range (plus a small margin):
+	// polynomial and truncated-power-spline terms diverge cubically outside
+	// the data, so unbounded extrapolation — exactly the new-application
+	// scenario of Section 4.4 — would otherwise produce wild predictions.
+	// Clamping yields constant extrapolation beyond the observed range.
+	ZLo, ZHi []float64
+}
+
+// NumVars returns the raw-variable count the Prep was built for.
+func (p *Prep) NumVars() int { return len(p.Powers) }
+
+// Prepare learns preprocessing from a training dataset. When stabilize is
+// false, powers are fixed at 1 (the ablation baseline); otherwise each
+// variable gets the ladder-of-powers exponent minimizing skewness.
+func Prepare(ds *Dataset, stabilize bool) *Prep {
+	p := ds.NumVars()
+	n := ds.NumRows()
+	prep := &Prep{
+		Names:  ds.Names,
+		Powers: make([]float64, p),
+		Means:  make([]float64, p),
+		Sds:    make([]float64, p),
+		Knots:  make([][3]float64, p),
+		ZLo:    make([]float64, p),
+		ZHi:    make([]float64, p),
+	}
+	col := make([]float64, n)
+	for v := 0; v < p; v++ {
+		for i := 0; i < n; i++ {
+			col[i] = ds.X.At(i, v)
+		}
+		prep.Powers[v] = 1
+		if stabilize {
+			prep.Powers[v] = stats.ChoosePower(col)
+		}
+		stats.ApplyPower(col, prep.Powers[v])
+		prep.Means[v] = stats.Mean(col)
+		sd := stats.StdDev(col)
+		if sd == 0 {
+			sd = 1
+		}
+		prep.Sds[v] = sd
+		// Standardize before placing knots so knots live in z-space.
+		z := make([]float64, n)
+		for i, x := range col {
+			z[i] = (x - prep.Means[v]) / sd
+		}
+		q := stats.Quantiles(z, 0, 0.2, 0.5, 0.8, 1)
+		prep.Knots[v] = [3]float64{q[1], q[2], q[3]}
+		prep.ZLo[v] = q[0]
+		prep.ZHi[v] = q[4]
+	}
+	return prep
+}
+
+// z returns the stabilized, standardized value of raw variable v, clamped
+// to the training range (see ZLo/ZHi).
+func (p *Prep) z(v int, raw float64) float64 {
+	x := raw
+	if pw := p.Powers[v]; pw != 1 {
+		if x < 0 {
+			x = 0
+		}
+		x = math.Pow(x, pw)
+	}
+	z := (x - p.Means[v]) / p.Sds[v]
+	if p.ZLo != nil {
+		if z < p.ZLo[v] {
+			z = p.ZLo[v]
+		}
+		if z > p.ZHi[v] {
+			z = p.ZHi[v]
+		}
+	}
+	return z
+}
+
+// Column describes one design-matrix column for reporting and debugging.
+type Column struct {
+	Name string
+	// Var is the raw variable index for main-effect columns, or -1.
+	Var int
+	// Interaction is set for product columns.
+	Interaction *Interaction
+}
+
+// columnsFor returns the design-column descriptors for a spec (intercept
+// first).
+func columnsFor(spec Spec, names []string) []Column {
+	cols := []Column{{Name: "(intercept)", Var: -1}}
+	suffix := [6]string{"", "^2", "^3", "s1", "s2", "s3"}
+	for v, code := range spec.Codes {
+		for k := 0; k < code.columns(); k++ {
+			cols = append(cols, Column{Name: names[v] + suffix[k], Var: v})
+		}
+	}
+	for i := range spec.Interactions {
+		in := spec.Interactions[i]
+		cols = append(cols, Column{
+			Name:        fmt.Sprintf("%s*%s", names[in.I], names[in.J]),
+			Var:         -1,
+			Interaction: &spec.Interactions[i],
+		})
+	}
+	return cols
+}
+
+// fillDesignRow expands one raw observation into the design row for spec.
+// row must have length equal to the number of design columns.
+func (p *Prep) fillDesignRow(spec Spec, raw []float64, row []float64) {
+	row[0] = 1
+	c := 1
+	for v, code := range spec.Codes {
+		if code == Excluded {
+			continue
+		}
+		z := p.z(v, raw[v])
+		row[c] = z
+		c++
+		if code >= Quadratic {
+			row[c] = z * z
+			c++
+		}
+		if code >= Cubic {
+			row[c] = z * z * z
+			c++
+		}
+		if code == Spline3 {
+			for _, k := range p.Knots[v] {
+				d := z - k
+				if d < 0 {
+					d = 0
+				}
+				row[c] = d * d * d
+				c++
+			}
+		}
+	}
+	for _, in := range spec.Interactions {
+		row[c] = p.z(in.I, raw[in.I]) * p.z(in.J, raw[in.J])
+		c++
+	}
+}
+
+// Design builds the full design matrix for a dataset under a spec.
+func (p *Prep) Design(spec Spec, ds *Dataset) (*linalg.Matrix, []Column) {
+	cols := columnsFor(spec, p.Names)
+	m := linalg.NewMatrix(ds.NumRows(), len(cols))
+	for i := 0; i < ds.NumRows(); i++ {
+		p.fillDesignRow(spec, ds.X.Row(i), m.Row(i))
+	}
+	return m, cols
+}

@@ -1,0 +1,202 @@
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hsmodel/internal/linalg"
+	"hsmodel/internal/stats"
+)
+
+// Options controls fitting.
+type Options struct {
+	// LogResponse fits log(y) instead of y and exponentiates predictions.
+	// Performance and CPI are strictly positive with multiplicative error
+	// structure, so this is the default in package core; the ablation bench
+	// measures its effect.
+	LogResponse bool
+	// Weights scales observations (the paper's "{P−s,Ts}×w" weighted fit).
+	// Nil means uniform. Length must equal the dataset rows.
+	Weights []float64
+	// Stabilize applies ladder-of-powers variance stabilization in Prepare
+	// when FitSpec builds its own Prep (ignored when Prep is supplied).
+	Stabilize bool
+}
+
+// Model is a fitted regression model: a specification, the preprocessing
+// learned from training data, and coefficients. Predictions require only the
+// raw variable vector, so a Model is self-contained and serializable.
+type Model struct {
+	Spec    Spec
+	Prep    *Prep
+	Columns []Column
+	Coef    []float64
+	Rank    int
+	// DroppedColumns lists design columns eliminated as collinear.
+	Dropped []int
+	// LogResponse records the response transform used at fit time.
+	LogResponse bool
+	// YLo and YHi clamp predictions. They are set at fit time to a 1.5x
+	// envelope of the observed responses: a performance model extrapolating
+	// a new application should saturate, not explode.
+	YLo, YHi float64
+}
+
+// ErrTooFewRows is returned when a fit has fewer observations than design
+// columns.
+var ErrTooFewRows = errors.New("regress: fewer observations than design columns")
+
+// FitSpec fits spec to ds. If prep is nil, preprocessing is learned from ds
+// itself.
+func FitSpec(spec Spec, prep *Prep, ds *Dataset, opts Options) (*Model, error) {
+	if err := ds.Check(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(ds.NumVars()); err != nil {
+		return nil, err
+	}
+	if prep == nil {
+		prep = Prepare(ds, opts.Stabilize)
+	}
+	design, cols := prep.Design(spec, ds)
+	if design.Rows < design.Cols {
+		return nil, fmt.Errorf("%w: %d rows, %d columns", ErrTooFewRows, design.Rows, design.Cols)
+	}
+	y := make([]float64, len(ds.Y))
+	for i, v := range ds.Y {
+		if opts.LogResponse {
+			if v <= 0 {
+				return nil, fmt.Errorf("regress: non-positive response %g with LogResponse", v)
+			}
+			y[i] = math.Log(v)
+		} else {
+			y[i] = v
+		}
+	}
+	if opts.Weights != nil {
+		if len(opts.Weights) != design.Rows {
+			return nil, fmt.Errorf("regress: %d weights for %d rows", len(opts.Weights), design.Rows)
+		}
+		for i := 0; i < design.Rows; i++ {
+			w := math.Sqrt(opts.Weights[i])
+			row := design.Row(i)
+			for j := range row {
+				row[j] *= w
+			}
+			y[i] *= w
+		}
+	}
+	f := linalg.Factor(design, 0)
+	coef, err := f.Solve(y)
+	if err != nil {
+		return nil, err
+	}
+	yLo, yHi := ds.Y[0], ds.Y[0]
+	for _, v := range ds.Y {
+		if v < yLo {
+			yLo = v
+		}
+		if v > yHi {
+			yHi = v
+		}
+	}
+	return &Model{
+		Spec:        spec,
+		Prep:        prep,
+		Columns:     cols,
+		Coef:        coef,
+		Rank:        f.Rank(),
+		Dropped:     f.DroppedColumns(),
+		LogResponse: opts.LogResponse,
+		YLo:         yLo / 1.5,
+		YHi:         yHi * 1.5,
+	}, nil
+}
+
+// Predict returns the model's prediction for one raw observation.
+func (m *Model) Predict(raw []float64) float64 {
+	row := make([]float64, len(m.Coef))
+	return m.predictInto(raw, row)
+}
+
+func (m *Model) predictInto(raw, row []float64) float64 {
+	m.Prep.fillDesignRow(m.Spec, raw, row)
+	var s float64
+	for j, c := range m.Coef {
+		s += c * row[j]
+	}
+	if m.LogResponse {
+		s = math.Exp(s)
+	}
+	if m.YHi > m.YLo {
+		if s < m.YLo {
+			s = m.YLo
+		}
+		if s > m.YHi {
+			s = m.YHi
+		}
+	}
+	return s
+}
+
+// PredictAll returns predictions for every row of ds.
+func (m *Model) PredictAll(ds *Dataset) []float64 {
+	out := make([]float64, ds.NumRows())
+	row := make([]float64, len(m.Coef))
+	for i := range out {
+		out[i] = m.predictInto(ds.X.Row(i), row)
+	}
+	return out
+}
+
+// Metrics summarizes predictive accuracy the way the paper reports it.
+type Metrics struct {
+	MedAPE   float64 // median absolute percentage error (Figures 7, 10, 14)
+	MeanAPE  float64
+	Pearson  float64 // predicted-vs-true correlation (Figure 8)
+	Spearman float64
+	R2       float64
+	N        int
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("medAPE=%.1f%% meanAPE=%.1f%% rho=%.3f spearman=%.3f R2=%.3f n=%d",
+		100*m.MedAPE, 100*m.MeanAPE, m.Pearson, m.Spearman, m.R2, m.N)
+}
+
+// Evaluate computes accuracy metrics of the model on a validation dataset.
+func (m *Model) Evaluate(ds *Dataset) Metrics {
+	pred := m.PredictAll(ds)
+	return Assess(pred, ds.Y)
+}
+
+// Assess computes accuracy metrics for a prediction/truth pairing.
+func Assess(pred, truth []float64) Metrics {
+	met := Metrics{
+		MedAPE:   stats.MedianAbsPctError(pred, truth),
+		MeanAPE:  stats.MeanAbsPctError(pred, truth),
+		Pearson:  stats.Pearson(pred, truth),
+		Spearman: stats.Spearman(pred, truth),
+		N:        len(pred),
+	}
+	// R^2 against the mean of truth.
+	mean := stats.Mean(truth)
+	var ssRes, ssTot float64
+	for i := range truth {
+		d := truth[i] - pred[i]
+		ssRes += d * d
+		t := truth[i] - mean
+		ssTot += t * t
+	}
+	if ssTot > 0 {
+		met.R2 = 1 - ssRes/ssTot
+	}
+	return met
+}
+
+// ErrorDistribution returns the absolute percentage errors of the model on
+// ds, for boxplot-style reporting.
+func (m *Model) ErrorDistribution(ds *Dataset) []float64 {
+	return stats.AbsPctErrors(m.PredictAll(ds), ds.Y)
+}

@@ -1,0 +1,62 @@
+package rng
+
+import "math"
+
+// Geom is a precomputed geometric sampler over {1, 2, 3, ...} with a fixed
+// mean. Construction pays the math.Log once; sampling uses a Bernoulli-trial
+// loop for small means (cheaper than a logarithm) and a single-log inverse
+// transform for large means. The trace generator draws geometric samples for
+// every instruction, so this is on the simulator's critical path.
+type Geom struct {
+	mean   float64
+	p      float64
+	invLog float64 // 1 / log(1-p), for the inverse-transform path
+	thresh uint64  // success threshold for the Bernoulli-trial path
+	small  bool
+}
+
+// smallMeanCutoff is the mean below which Bernoulli trials beat a logarithm.
+const smallMeanCutoff = 3
+
+// NewGeom builds a sampler with the given mean (means <= 1 always sample 1).
+func NewGeom(mean float64) Geom {
+	g := Geom{mean: mean}
+	if mean <= 1 {
+		return g
+	}
+	g.p = 1 / mean
+	g.small = mean <= smallMeanCutoff
+	if g.small {
+		g.thresh = uint64(g.p * float64(1<<63) * 2)
+	} else {
+		g.invLog = 1 / math.Log(1-g.p)
+	}
+	return g
+}
+
+// Mean returns the configured mean.
+func (g Geom) Mean() float64 { return g.mean }
+
+// Sample draws one geometric variate from src.
+func (g Geom) Sample(src *Source) int {
+	if g.mean <= 1 {
+		return 1
+	}
+	if g.small {
+		k := 1
+		// Success probability p per trial; count trials to first success.
+		for src.Uint64() >= g.thresh {
+			k++
+			if k > 256 {
+				break // statistically unreachable; bounds the loop
+			}
+		}
+		return k
+	}
+	u := src.Float64()
+	k := int(math.Log(1-u)*g.invLog) + 1
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

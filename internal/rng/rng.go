@@ -1,0 +1,180 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout hsmodel. Reproducibility matters: every synthetic
+// workload, sampled design point, and genetic-search run is derived from an
+// explicit seed so that experiments regenerate identical tables.
+//
+// The generator is SplitMix64 (Steele, Lea, Flood; OOPSLA 2014), which passes
+// BigCrush, has a full 2^64 period, and — unlike math/rand's global state —
+// is cheap to fork into independent streams keyed by (application, shard).
+package rng
+
+import "math"
+
+// Source is a deterministic SplitMix64 random source. The zero value is a
+// valid generator seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Fork derives an independent stream from the source and a key. The parent
+// state is not advanced, so forks are stable regardless of interleaving.
+func (s *Source) Fork(key uint64) *Source {
+	// Mix the key through one SplitMix64 round against the current state.
+	z := s.state + 0x9e3779b97f4a7c15*(key+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &Source{state: z ^ (z >> 31)}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Range returns a uniform int in [lo, hi] inclusive.
+func (s *Source) Range(lo, hi int) int {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with the given
+// mean (mean >= 1). The support is {1, 2, 3, ...}.
+func (s *Source) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	u := s.Float64()
+	// Inverse CDF of the geometric distribution on {1,2,...}.
+	k := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Normal returns a sample from N(mu, sigma^2) using the Box-Muller transform.
+func (s *Source) Normal(mu, sigma float64) float64 {
+	u1 := s.Float64()
+	for u1 == 0 {
+		u1 = s.Float64()
+	}
+	u2 := s.Float64()
+	return mu + sigma*math.Sqrt(-2*math.Log(u1))*math.Cos(2*math.Pi*u2)
+}
+
+// LogNormal returns a sample of a log-normal distribution parameterized by
+// the mu and sigma of the underlying normal.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Exponential returns a sample from an exponential distribution with the
+// given mean.
+func (s *Source) Exponential(mean float64) float64 {
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Zipf returns a sample in [1, n] following an approximate Zipf distribution
+// with exponent theta (0 < theta). Larger theta skews toward small values.
+// It uses the standard rejection-free inverse-power approximation, which is
+// accurate enough for workload locality modeling.
+func (s *Source) Zipf(n int, theta float64) int {
+	if n <= 1 {
+		return 1
+	}
+	u := s.Float64()
+	// Inverse transform of the continuous bounded Pareto approximation.
+	if theta == 1 {
+		return 1 + int(math.Pow(float64(n), u))%n
+	}
+	oneMinus := 1 - theta
+	hi := math.Pow(float64(n), oneMinus)
+	x := math.Pow(u*(hi-1)+1, 1/oneMinus)
+	k := int(x)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Perm fills a permutation of [0, n) using Fisher-Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n indices via the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Choice returns a random index weighted by the non-negative weights.
+// It panics if weights is empty or sums to zero.
+func (s *Source) Choice(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight")
+		}
+		total += w
+	}
+	if total == 0 || len(weights) == 0 {
+		panic("rng: Choice with zero total weight")
+	}
+	u := s.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,227 @@
+package spmv
+
+import (
+	"fmt"
+
+	"hsmodel/internal/cache"
+	"hsmodel/internal/power"
+)
+
+// ClockMHz is the Tensilica-Xtensa-class design point of Section 5.3.
+const ClockMHz = 400
+
+// Memory timing for the in-order kernel core: a miss costs a fixed access
+// latency plus the line transfer at the memory bus width. Larger lines
+// amortize the fixed cost over more bytes — the streaming-bandwidth effect
+// of Figure 13 — while costing transfer energy per byte (Figure 16's
+// arch-tuning energy penalty).
+const (
+	memBaseLatency   = 20 // cycles
+	memBytesPerCycle = 8
+)
+
+// CacheConfig is one point of the Table 5 hardware space: the
+// reconfigurable line size shared by both caches, plus data- and
+// instruction-cache geometry and replacement.
+type CacheConfig struct {
+	LineBytes  int               // y1: 16 :: 2x :: 128
+	DSizeBytes int               // y2: 4KB :: 2x :: 256KB
+	DWays      int               // y3: 1 :: 2x :: 8
+	DRepl      cache.Replacement // y4: LRU, NMRU, RND
+	ISizeBytes int               // y5: 2KB :: 2x :: 128KB
+	IWays      int               // y6: 1 :: 2x :: 8
+	IRepl      cache.Replacement // y7: LRU, NMRU, RND
+}
+
+func (c CacheConfig) String() string {
+	return fmt.Sprintf("line%dB/d%dK-%dw-%s/i%dK-%dw-%s",
+		c.LineBytes, c.DSizeBytes/1024, c.DWays, c.DRepl,
+		c.ISizeBytes/1024, c.IWays, c.IRepl)
+}
+
+// Vector encodes the configuration as the regression-visible y1..y7 values
+// (replacement policies ordinally).
+func (c CacheConfig) Vector() [7]float64 {
+	return [7]float64{
+		float64(c.LineBytes),
+		float64(c.DSizeBytes),
+		float64(c.DWays),
+		float64(c.DRepl),
+		float64(c.ISizeBytes),
+		float64(c.IWays),
+		float64(c.IRepl),
+	}
+}
+
+// missPenalty returns the stall cycles for one miss.
+func (c CacheConfig) missPenalty() float64 {
+	return memBaseLatency + float64(c.LineBytes)/memBytesPerCycle
+}
+
+// KernelResult reports one simulated SpMV execution.
+type KernelResult struct {
+	Cycles    float64
+	TrueFlops int // 2 * original nnz; excludes operations on filled zeros
+	ExecFlops int // 2 * stored values; includes fill
+	DStats    cache.Stats
+	IStats    cache.Stats
+	Energy    power.Breakdown
+}
+
+// Seconds returns wall time at the 400 MHz design point.
+func (r KernelResult) Seconds() float64 {
+	return r.Cycles / (ClockMHz * 1e6)
+}
+
+// MFlops returns true Mflop/s: the numerator excludes operations on filled
+// zeros, the denominator includes the (reduced) execution time from
+// blocking — the paper's performance metric.
+func (r KernelResult) MFlops() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TrueFlops) / r.Seconds() / 1e6
+}
+
+// NJPerFlop returns energy per true floating-point operation, Figure 16(b)'s
+// metric.
+func (r KernelResult) NJPerFlop() float64 {
+	if r.TrueFlops == 0 {
+		return 0
+	}
+	return r.Energy.Total() / float64(r.TrueFlops)
+}
+
+// Watts returns average power, Figure 14(b)'s prediction target.
+func (r KernelResult) Watts() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.Energy.Total() * 1e-9 / r.Seconds()
+}
+
+// Simulated memory layout: disjoint regions per data structure.
+const (
+	valBase   = 0x1000_0000
+	bcolBase  = 0x2000_0000
+	brsBase   = 0x2800_0000
+	uBase     = 0x3000_0000
+	vBase     = 0x4000_0000
+	codeBase  = 0x5000_0000
+	idxBytes  = 4
+	elemBytes = 8
+)
+
+// kernelCodeBytes models the unrolled inner-loop footprint for an r x c
+// block: a base loop skeleton plus one multiply-accumulate bundle per block
+// element. Register-blocked kernels grow with r*c, which is what makes tiny
+// instruction caches interact with block size (Table 5 exercises i-caches
+// down to 2 KB).
+func kernelCodeBytes(r, c int) int {
+	return 96 + 12*r*c
+}
+
+// SimulateKernel runs one blocked SpMV (v = v + A*u) through the in-order
+// timing and energy model on cfg. The address trace follows the BCSR layout
+// of Figure 11 exactly: block-row pointers, block column indices, dense
+// value blocks, source-vector reads per block, and destination accumulators
+// held in registers across each block row.
+func SimulateKernel(b *BCSR, cfg CacheConfig) KernelResult {
+	dc := cache.New(cache.Config{
+		SizeBytes: cfg.DSizeBytes, LineBytes: cfg.LineBytes, Ways: cfg.DWays, Policy: cfg.DRepl,
+	})
+	ic := cache.New(cache.Config{
+		SizeBytes: cfg.ISizeBytes, LineBytes: cfg.LineBytes, Ways: cfg.IWays, Policy: cfg.IRepl,
+	})
+	penalty := cfg.missPenalty()
+
+	var cycles float64
+	var coreOps int
+
+	// data issues one data access of size bytes at addr, charging hit or
+	// miss latency. Multi-line accesses (none at current sizes) would touch
+	// each line once.
+	data := func(addr uint64, write bool) {
+		if dc.Access(addr, write) {
+			cycles++
+		} else {
+			cycles += penalty
+		}
+	}
+	// code charges instruction fetch for n sequential bytes at addr,
+	// touching the i-cache once per line.
+	code := func(addr uint64, n int) {
+		line := uint64(cfg.LineBytes)
+		for a := addr &^ (line - 1); a < addr+uint64(n); a += line {
+			if !ic.Access(a, false) {
+				cycles += penalty
+			}
+		}
+	}
+
+	r, c := b.R, b.C
+	bodyBytes := kernelCodeBytes(r, c)
+	numBlockRows := len(b.BRowStart) - 1
+
+	for bi := 0; bi < numBlockRows; bi++ {
+		// Block-row prologue: row pointer pair, load r accumulators.
+		data(brsBase+uint64(bi)*idxBytes, false)
+		rowLo := bi * r
+		for dr := 0; dr < r && rowLo+dr < b.Rows; dr++ {
+			data(vBase+uint64(rowLo+dr)*elemBytes, false)
+		}
+		code(codeBase, 96)
+		cycles += 4 // loop setup
+		coreOps += 4 + r
+
+		for blk := b.BRowStart[bi]; blk < b.BRowStart[bi+1]; blk++ {
+			colLo := b.BColIdx[blk]
+			// Index and source-vector loads.
+			data(bcolBase+uint64(blk)*idxBytes, false)
+			for dc2 := 0; dc2 < c && colLo+dc2 < b.Cols; dc2++ {
+				data(uBase+uint64(colLo+dc2)*elemBytes, false)
+			}
+			// Value block streams contiguously.
+			base := uint64(blk * r * c)
+			for e := 0; e < r*c; e++ {
+				data(valBase+(base+uint64(e))*elemBytes, false)
+			}
+			// Compute: one MAC per element (2 flops/cycle), plus loop
+			// overhead; instruction fetch walks the unrolled body.
+			cycles += float64(r*c) + 3
+			coreOps += r*c + 3 + c
+			code(codeBase+96, bodyBytes-96)
+		}
+
+		// Epilogue: store r accumulators.
+		for dr := 0; dr < r && rowLo+dr < b.Rows; dr++ {
+			data(vBase+uint64(rowLo+dr)*elemBytes, true)
+		}
+		coreOps += r
+	}
+
+	res := KernelResult{
+		Cycles:    cycles,
+		TrueFlops: 2 * b.OrigNNZ,
+		ExecFlops: 2 * b.StoredValues(),
+		DStats:    dc.Stats(),
+		IStats:    ic.Stats(),
+	}
+	res.Energy = energyFor(res, cfg, coreOps)
+	return res
+}
+
+// energyFor itemizes energy from event counts via the power package.
+func energyFor(r KernelResult, cfg CacheConfig, coreOps int) power.Breakdown {
+	dAccess := power.CacheAccessEnergyNJ(cfg.DSizeBytes, cfg.DWays, cfg.LineBytes)
+	iAccess := power.CacheAccessEnergyNJ(cfg.ISizeBytes, cfg.IWays, cfg.LineBytes)
+	line := power.LineTransferEnergyNJ(cfg.LineBytes)
+	leak := power.CacheLeakageNJPerCycle(cfg.DSizeBytes + cfg.ISizeBytes)
+	return power.Breakdown{
+		DCacheDynamic: float64(r.DStats.Accesses) * dAccess,
+		ICacheDynamic: float64(r.IStats.Accesses) * iAccess,
+		MemTransfer:   float64(r.DStats.Misses+r.IStats.Misses+r.DStats.Writebacks) * line,
+		Leakage:       r.Cycles * leak,
+		CoreDynamic:   float64(coreOps) * power.CoreOpEnergyNJ,
+	}
+}

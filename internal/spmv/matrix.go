@@ -1,0 +1,103 @@
+// Package spmv implements the domain-specific case study of Section 5:
+// sparse matrix-vector multiply (v = v + A*u) with BCSR register blocking,
+// a synthetic stand-in for the paper's Matrix Market corpus (Table 4), an
+// in-order kernel timing and energy simulator over the reconfigurable cache
+// architecture of Table 5, inferred performance/power models over the
+// integrated SpMV-cache space, and coordinated hardware-software tuning
+// (Figure 16).
+package spmv
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format triple list used to build matrices.
+type COO struct {
+	Rows, Cols int
+	I, J       []int
+	V          []float64
+}
+
+// Add appends an entry.
+func (c *COO) Add(i, j int, v float64) {
+	c.I = append(c.I, i)
+	c.J = append(c.J, j)
+	c.V = append(c.V, v)
+}
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	Rows, Cols int
+	RowStart   []int // len Rows+1
+	ColIdx     []int // len NNZ, ascending within each row
+	Val        []float64
+}
+
+// NNZ returns the stored-entry count.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Sparsity returns NNZ / (Rows*Cols), Table 4's sparsity column.
+func (m *CSR) Sparsity() float64 {
+	return float64(m.NNZ()) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// ToCSR converts and canonicalizes a COO (sorted rows/columns, duplicate
+// entries summed).
+func ToCSR(c *COO) *CSR {
+	type ent struct {
+		i, j int
+		v    float64
+	}
+	ents := make([]ent, len(c.I))
+	for k := range c.I {
+		if c.I[k] < 0 || c.I[k] >= c.Rows || c.J[k] < 0 || c.J[k] >= c.Cols {
+			panic(fmt.Sprintf("spmv: entry (%d,%d) out of %dx%d", c.I[k], c.J[k], c.Rows, c.Cols))
+		}
+		ents[k] = ent{c.I[k], c.J[k], c.V[k]}
+	}
+	sort.Slice(ents, func(a, b int) bool {
+		if ents[a].i != ents[b].i {
+			return ents[a].i < ents[b].i
+		}
+		return ents[a].j < ents[b].j
+	})
+	m := &CSR{Rows: c.Rows, Cols: c.Cols, RowStart: make([]int, c.Rows+1)}
+	for k := 0; k < len(ents); {
+		e := ents[k]
+		v := e.v
+		k++
+		for k < len(ents) && ents[k].i == e.i && ents[k].j == e.j {
+			v += ents[k].v
+			k++
+		}
+		m.ColIdx = append(m.ColIdx, e.j)
+		m.Val = append(m.Val, v)
+		m.RowStart[e.i+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		m.RowStart[i+1] += m.RowStart[i]
+	}
+	return m
+}
+
+// MulVec computes v = v + A*u, the reference kernel all blocked variants
+// are verified against.
+func (m *CSR) MulVec(u, v []float64) {
+	if len(u) != m.Cols || len(v) != m.Rows {
+		panic("spmv: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		sum := v[i]
+		for k := m.RowStart[i]; k < m.RowStart[i+1]; k++ {
+			sum += m.Val[k] * u[m.ColIdx[k]]
+		}
+		v[i] = sum
+	}
+}
+
+// Row returns the column indices and values of row i (shared storage).
+func (m *CSR) Row(i int) ([]int, []float64) {
+	lo, hi := m.RowStart[i], m.RowStart[i+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}

@@ -1,0 +1,122 @@
+package spmv
+
+import "hsmodel/internal/rng"
+
+// This file implements the coordinated-optimization study of Section 5.3 /
+// Figure 16: compare tuning the application (block size), the architecture
+// (cache configuration), or both, for performance and for energy.
+
+// TuneChoice records one tuning outcome.
+type TuneChoice struct {
+	R, C   int
+	Cfg    CacheConfig
+	MFlops float64
+	NJFlop float64
+}
+
+// TuningResult compares the four strategies for one matrix.
+type TuningResult struct {
+	Matrix      string
+	Baseline    TuneChoice // 1x1 blocks on the baseline cache
+	AppTuned    TuneChoice // best block size, baseline cache
+	ArchTuned   TuneChoice // 1x1 blocks, best cache
+	Coordinated TuneChoice // best of both
+}
+
+// AppSpeedup returns application-tuning speedup over baseline (Figure 16a).
+func (t TuningResult) AppSpeedup() float64 { return t.AppTuned.MFlops / t.Baseline.MFlops }
+
+// ArchSpeedup returns architecture-tuning speedup over baseline.
+func (t TuningResult) ArchSpeedup() float64 { return t.ArchTuned.MFlops / t.Baseline.MFlops }
+
+// CoordSpeedup returns coordinated-tuning speedup over baseline.
+func (t TuningResult) CoordSpeedup() float64 { return t.Coordinated.MFlops / t.Baseline.MFlops }
+
+// TuneOptions controls the search.
+type TuneOptions struct {
+	// CacheCandidates is how many random cache configurations each
+	// architecture search considers (default 200). The paper exploits "the
+	// tractability of inferred models" for this navigation; Tune can use
+	// either exhaustive simulation or a trained model as the oracle.
+	CacheCandidates int
+	Seed            uint64
+	// Models, when non-nil, ranks candidates with the inferred performance
+	// model and only simulates the predicted winner — the paper's
+	// model-guided co-tuning. When nil, candidates are simulated directly.
+	Models *Models
+	// Study provides fill ratios and simulation.
+	Study *Study
+}
+
+func (o TuneOptions) withDefaults() TuneOptions {
+	if o.CacheCandidates <= 0 {
+		o.CacheCandidates = 200
+	}
+	return o
+}
+
+// Tune runs the four tuning strategies of Figure 16 for the study's matrix.
+func Tune(opts TuneOptions) TuningResult {
+	opts = opts.withDefaults()
+	s := opts.Study
+	base := BaselineCache()
+
+	measure := func(r, c int, cfg CacheConfig) TuneChoice {
+		res := s.Simulate(r, c, cfg)
+		return TuneChoice{R: r, C: c, Cfg: cfg, MFlops: res.MFlops(), NJFlop: res.NJPerFlop()}
+	}
+	// score ranks a candidate without committing to a full measurement when
+	// a model oracle is available.
+	score := func(r, c int, cfg CacheConfig) float64 {
+		if opts.Models != nil {
+			return opts.Models.Perf.Predict(r, c, s.FillRatio(r, c), cfg)
+		}
+		return s.Simulate(r, c, cfg).MFlops()
+	}
+
+	out := TuningResult{Matrix: s.Spec.Name, Baseline: measure(1, 1, base)}
+
+	// Application tuning: sweep the 64 OSKI variants on the baseline cache.
+	bestR, bestC, bestScore := 1, 1, score(1, 1, base)
+	for r := 1; r <= MaxBlockDim; r++ {
+		for c := 1; c <= MaxBlockDim; c++ {
+			if sc := score(r, c, base); sc > bestScore {
+				bestR, bestC, bestScore = r, c, sc
+			}
+		}
+	}
+	out.AppTuned = measure(bestR, bestC, base)
+
+	// Architecture tuning: random cache candidates with 1x1 blocks.
+	src := rng.New(opts.Seed ^ 0xa4c4)
+	bestCfg, bestScore := base, score(1, 1, base)
+	for k := 0; k < opts.CacheCandidates; k++ {
+		cfg := SampleCacheConfig(src)
+		if sc := score(1, 1, cfg); sc > bestScore {
+			bestCfg, bestScore = cfg, sc
+		}
+	}
+	out.ArchTuned = measure(1, 1, bestCfg)
+
+	// Coordinated tuning: joint search over block sizes and cache
+	// candidates (the same candidate pool, so strategies are comparable).
+	src = rng.New(opts.Seed ^ 0xc004d)
+	type cand struct {
+		r, c int
+		cfg  CacheConfig
+	}
+	best := cand{1, 1, base}
+	bestScore = score(1, 1, base)
+	for k := 0; k < opts.CacheCandidates; k++ {
+		cfg := SampleCacheConfig(src)
+		for r := 1; r <= MaxBlockDim; r++ {
+			for c := 1; c <= MaxBlockDim; c++ {
+				if sc := score(r, c, cfg); sc > bestScore {
+					best, bestScore = cand{r, c, cfg}, sc
+				}
+			}
+		}
+	}
+	out.Coordinated = measure(best.r, best.c, best.cfg)
+	return out
+}

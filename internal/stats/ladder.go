@@ -1,0 +1,54 @@
+package stats
+
+import "math"
+
+// The ladder of powers (Tukey; exposed as `ladder` in Stata, which the paper
+// cites for choosing its variance-stabilizing exponent) searches a small set
+// of power transformations x -> x^p and picks the one whose transformed
+// sample is most symmetric. The paper's Figure 3 example selects p = 1/5 for
+// the 256-byte sum-of-reuse-distances characteristic.
+
+// LadderPowers is the candidate exponent set searched by ChoosePower. The
+// paper restricts itself to x^(1/n) with n >= 1; we include the standard
+// Tukey rungs below 1 plus identity.
+var LadderPowers = []float64{1, 1.0 / 2, 1.0 / 3, 1.0 / 4, 1.0 / 5, 1.0 / 6, 1.0 / 8}
+
+// ChoosePower returns the exponent p from LadderPowers minimizing the
+// absolute skewness of {x^p}. Inputs must be non-negative; negative values
+// are clamped to zero before transforming (software characteristics are
+// counts and distances, hence non-negative by construction).
+func ChoosePower(xs []float64) float64 {
+	if len(xs) < 3 {
+		return 1
+	}
+	best := 1.0
+	bestSkew := math.Inf(1)
+	buf := make([]float64, len(xs))
+	for _, p := range LadderPowers {
+		for i, x := range xs {
+			if x < 0 {
+				x = 0
+			}
+			buf[i] = math.Pow(x, p)
+		}
+		s := math.Abs(Skewness(buf))
+		if s < bestSkew {
+			bestSkew = s
+			best = p
+		}
+	}
+	return best
+}
+
+// ApplyPower transforms xs in place by x -> x^p, clamping negatives to zero.
+func ApplyPower(xs []float64, p float64) {
+	if p == 1 {
+		return
+	}
+	for i, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		xs[i] = math.Pow(x, p)
+	}
+}

@@ -1,0 +1,319 @@
+// Package stats implements the descriptive and inferential statistics the
+// paper's modeling methodology relies on: quantiles and boxplot summaries
+// for error distributions (Figures 7, 10, 14), Pearson and Spearman
+// correlation between predicted and true performance (Figure 8), histogram
+// construction (Figures 3 and 9), skewness-driven ladder-of-powers selection
+// of variance-stabilizing transformations (Section 3.1), and the error
+// metrics used as genetic-search fitness.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs, or 0 when fewer than
+// two observations are available.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Skewness returns the adjusted Fisher-Pearson sample skewness. Long right
+// tails — the paper's "infrequent instances of large values" — give large
+// positive skewness; a good variance-stabilizing transform drives it toward
+// zero.
+func Skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	g1 := m3 / math.Pow(m2, 1.5)
+	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (R type-7, the R default the paper's
+// toolchain used). It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	h := q * float64(len(s)-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= len(s) {
+		return s[lo]
+	}
+	frac := h - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantiles returns several quantiles of xs in one sort.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantiles of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+// BoxplotSummary is the five-number summary plus mean used to report error
+// distributions the way the paper's boxplot figures do.
+type BoxplotSummary struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// Boxplot computes the five-number summary of xs.
+func Boxplot(xs []float64) BoxplotSummary {
+	if len(xs) == 0 {
+		return BoxplotSummary{}
+	}
+	qs := Quantiles(xs, 0, 0.25, 0.5, 0.75, 1)
+	return BoxplotSummary{
+		Min: qs[0], Q1: qs[1], Median: qs[2], Q3: qs[3], Max: qs[4],
+		Mean: Mean(xs), N: len(xs),
+	}
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins
+// spanning the observed range. Values equal to the maximum land in the last
+// bin.
+func NewHistogram(xs []float64, bins int) Histogram {
+	if bins <= 0 {
+		bins = 1
+	}
+	h := Histogram{Counts: make([]int, bins)}
+	if len(xs) == 0 {
+		return h
+	}
+	h.Lo, h.Hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < h.Lo {
+			h.Lo = x
+		}
+		if x > h.Hi {
+			h.Hi = x
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(bins)
+	for _, x := range xs {
+		var b int
+		if width > 0 {
+			b = int((x - h.Lo) / width)
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+		h.Total++
+	}
+	return h
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h Histogram) BinCenter(i int) float64 {
+	if len(h.Counts) == 0 {
+		return 0
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + width*(float64(i)+0.5)
+}
+
+// Modes returns the indices of local maxima in the histogram counts,
+// ignoring bins below minCount. Used to detect the bimodal bwaves CPI
+// distribution of Figure 9(c).
+func (h Histogram) Modes(minCount int) []int {
+	var modes []int
+	for i, c := range h.Counts {
+		if c < minCount {
+			continue
+		}
+		left := 0
+		if i > 0 {
+			left = h.Counts[i-1]
+		}
+		right := 0
+		if i+1 < len(h.Counts) {
+			right = h.Counts[i+1]
+		}
+		if c >= left && c > right || c > left && c >= right {
+			modes = append(modes, i)
+		}
+	}
+	// Collapse adjacent plateau bins into a single mode.
+	var out []int
+	for _, m := range modes {
+		if len(out) > 0 && m == out[len(out)-1]+1 {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Pearson returns the Pearson linear correlation coefficient between xs and
+// ys. It returns 0 when either input has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation coefficient, the paper's
+// preferred accuracy measure "in the context of optimization" because hill
+// climbing only needs the model to order configurations correctly.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Spearman length mismatch")
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// Ranks returns the fractional ranks of xs (ties receive the mean of the
+// ranks they span), 1-based as in conventional rank statistics.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Mean rank of the tie group [i, j].
+		r := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = r
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// AbsPctErrors returns |pred-true|/|true| for each pair, skipping entries
+// with true value zero.
+func AbsPctErrors(pred, truth []float64) []float64 {
+	if len(pred) != len(truth) {
+		panic("stats: AbsPctErrors length mismatch")
+	}
+	out := make([]float64, 0, len(pred))
+	for i := range pred {
+		if truth[i] == 0 {
+			continue
+		}
+		out = append(out, math.Abs(pred[i]-truth[i])/math.Abs(truth[i]))
+	}
+	return out
+}
+
+// MedianAbsPctError returns the median absolute percentage error between
+// predictions and true values — the paper's headline accuracy metric.
+func MedianAbsPctError(pred, truth []float64) float64 {
+	errs := AbsPctErrors(pred, truth)
+	if len(errs) == 0 {
+		return 0
+	}
+	return Median(errs)
+}
+
+// MeanAbsPctError returns the mean absolute percentage error.
+func MeanAbsPctError(pred, truth []float64) float64 {
+	errs := AbsPctErrors(pred, truth)
+	if len(errs) == 0 {
+		return 0
+	}
+	return Mean(errs)
+}

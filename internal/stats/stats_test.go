@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hsmodel/internal/rng"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", what, got, want, tol)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	almost(t, Mean(xs), 5, 1e-12, "Mean")
+	almost(t, Variance(xs), 32.0/7, 1e-12, "Variance")
+	almost(t, StdDev(xs), math.Sqrt(32.0/7), 1e-12, "StdDev")
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestQuantileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	almost(t, Quantile(xs, 0), 1, 0, "q0")
+	almost(t, Quantile(xs, 1), 5, 0, "q1")
+	almost(t, Quantile(xs, 0.5), 3, 0, "q50")
+	almost(t, Quantile(xs, 0.25), 2, 0, "q25")
+	// Interpolation between order statistics (R type 7).
+	almost(t, Quantile([]float64{1, 2}, 0.5), 1.5, 1e-12, "interpolated median")
+	almost(t, Quantile([]float64{0, 10}, 0.3), 3, 1e-12, "interpolated q30")
+}
+
+func TestQuantileUnsortedInputUnchanged(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	_ = Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	almost(t, Median([]float64{3, 1, 2}), 2, 0, "odd median")
+	almost(t, Median([]float64{4, 1, 3, 2}), 2.5, 1e-12, "even median")
+}
+
+func TestBoxplot(t *testing.T) {
+	b := Boxplot([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if b.Min != 1 || b.Max != 9 || b.Median != 5 || b.N != 9 {
+		t.Errorf("boxplot %+v", b)
+	}
+	if b.Q1 != 3 || b.Q3 != 7 {
+		t.Errorf("quartiles %+v", b)
+	}
+	if Boxplot(nil).N != 0 {
+		t.Error("empty boxplot should be zero")
+	}
+}
+
+func TestSkewnessSign(t *testing.T) {
+	rightTail := []float64{1, 1, 1, 2, 2, 3, 10, 50}
+	if Skewness(rightTail) <= 0 {
+		t.Error("right-tailed data should have positive skewness")
+	}
+	leftTail := []float64{-50, -10, -3, -2, -2, -1, -1, -1}
+	if Skewness(leftTail) >= 0 {
+		t.Error("left-tailed data should have negative skewness")
+	}
+	symmetric := []float64{-2, -1, 0, 1, 2}
+	almost(t, Skewness(symmetric), 0, 1e-12, "symmetric skewness")
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if h.Total != 10 {
+		t.Fatalf("total %d", h.Total)
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Errorf("bin %d count %d, want 2", i, c)
+		}
+	}
+	almost(t, h.BinCenter(0), 0.9, 1e-12, "bin center")
+}
+
+func TestHistogramModesBimodal(t *testing.T) {
+	var xs []float64
+	src := rng.New(5)
+	for i := 0; i < 500; i++ {
+		xs = append(xs, src.Normal(0.5, 0.05), src.Normal(1.0, 0.05))
+	}
+	h := NewHistogram(xs, 20)
+	modes := h.Modes(20)
+	if len(modes) != 2 {
+		t.Fatalf("expected 2 modes, got %d (%v)", len(modes), modes)
+	}
+	almost(t, h.BinCenter(modes[0]), 0.5, 0.1, "first mode")
+	almost(t, h.BinCenter(modes[1]), 1.0, 0.1, "second mode")
+}
+
+func TestPearsonKnownCases(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	almost(t, Pearson(x, []float64{2, 4, 6, 8, 10}), 1, 1e-12, "perfect positive")
+	almost(t, Pearson(x, []float64{10, 8, 6, 4, 2}), -1, 1e-12, "perfect negative")
+	almost(t, Pearson(x, []float64{3, 3, 3, 3, 3}), 0, 0, "zero variance")
+}
+
+func TestSpearmanMonotoneInvariance(t *testing.T) {
+	src := rng.New(9)
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = src.Float64() * 10
+		y[i] = x[i] + src.Normal(0, 0.5)
+	}
+	base := Spearman(x, y)
+	// Apply a strictly monotone transform to y: ranks are unchanged.
+	ty := make([]float64, len(y))
+	for i, v := range y {
+		ty[i] = math.Exp(v / 3)
+	}
+	almost(t, Spearman(x, ty), base, 1e-12, "Spearman under monotone transform")
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		almost(t, r[i], want[i], 1e-12, "rank")
+	}
+}
+
+func TestAPEMetrics(t *testing.T) {
+	pred := []float64{110, 90, 100}
+	truth := []float64{100, 100, 100}
+	almost(t, MedianAbsPctError(pred, truth), 0.1, 1e-12, "medAPE")
+	almost(t, MeanAbsPctError(pred, truth), 0.2/3, 1e-12, "meanAPE")
+	// Zero truth entries are skipped, not divided by.
+	errs := AbsPctErrors([]float64{1, 2}, []float64{0, 1})
+	if len(errs) != 1 {
+		t.Fatalf("zero-truth entry not skipped: %v", errs)
+	}
+}
+
+func TestChoosePowerStabilizesLogNormal(t *testing.T) {
+	src := rng.New(21)
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = src.LogNormal(5, 1.2)
+	}
+	p := ChoosePower(xs)
+	if p >= 1 {
+		t.Fatalf("ChoosePower on long-tailed data = %v, want < 1", p)
+	}
+	before := math.Abs(Skewness(xs))
+	tr := append([]float64(nil), xs...)
+	ApplyPower(tr, p)
+	after := math.Abs(Skewness(tr))
+	if after >= before {
+		t.Errorf("transform did not reduce skewness: %v -> %v", before, after)
+	}
+}
+
+func TestChoosePowerIdentityForSymmetric(t *testing.T) {
+	src := rng.New(22)
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = 100 + src.Normal(0, 5)
+	}
+	if p := ChoosePower(xs); p != 1 {
+		t.Errorf("ChoosePower on symmetric data = %v, want 1", p)
+	}
+}
+
+func TestApplyPowerClampsNegatives(t *testing.T) {
+	xs := []float64{-4, 9}
+	ApplyPower(xs, 0.5)
+	if xs[0] != 0 || xs[1] != 3 {
+		t.Errorf("ApplyPower = %v", xs)
+	}
+}
+
+func TestQuantilePropertyMonotone(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		xs := make([]float64, 20+src.Intn(50))
+		for i := range xs {
+			xs[i] = src.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonSymmetryProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 10 + src.Intn(40)
+		x, y := make([]float64, n), make([]float64, n)
+		for i := range x {
+			x[i] = src.Float64()
+			y[i] = src.Float64()
+		}
+		a, b := Pearson(x, y), Pearson(y, x)
+		return math.Abs(a-b) < 1e-12 && a >= -1-1e-12 && a <= 1+1e-12
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

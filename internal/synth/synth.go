@@ -1,0 +1,159 @@
+// Package synth implements the future-work avenue of Section 4.5: synthetic
+// benchmarks with explicit control over software behavior, used to augment
+// training data so it covers regions of the software space — like bwaves' —
+// that real applications populate only sparsely.
+//
+// A synthetic benchmark is simply a single-phase trace.App whose phase
+// parameters are derived from a target point in characteristic space, so
+// profiles can be generated uniformly across the space ("synthetic
+// benchmarks provide explicit control on software behavior and enable
+// uniform profiling across the software space").
+package synth
+
+import (
+	"fmt"
+
+	"hsmodel/internal/profile"
+	"hsmodel/internal/rng"
+	"hsmodel/internal/trace"
+)
+
+// Target describes the desired software behavior of a synthetic benchmark
+// in rough characteristic terms. Fields are fractions of the non-control
+// instruction budget except where noted.
+type Target struct {
+	FPFrac     float64 // floating-point share (ALU+mul) of non-control mix
+	MemFrac    float64 // memory share of non-control mix
+	MeanBB     float64 // basic-block size (x13)
+	TakenBias  float64 // taken-branch tendency (drives x2)
+	ILP        float64 // producer depth multiplier, >1 = looser dependences
+	WSBlocks   int     // data working set in 64B blocks (drives x8)
+	Streaming  float64 // streaming fraction of memory accesses
+	CodeBlocks int     // hot code footprint (drives x9)
+}
+
+// Clamp normalizes a target into generator-safe ranges.
+func (t Target) Clamp() Target {
+	clamp := func(x, lo, hi float64) float64 {
+		if x < lo {
+			return lo
+		}
+		if x > hi {
+			return hi
+		}
+		return x
+	}
+	t.FPFrac = clamp(t.FPFrac, 0, 0.85)
+	t.MemFrac = clamp(t.MemFrac, 0.05, 0.6)
+	t.MeanBB = clamp(t.MeanBB, 3, 16)
+	t.TakenBias = clamp(t.TakenBias, 0.3, 0.95)
+	t.ILP = clamp(t.ILP, 0.5, 4)
+	if t.WSBlocks < 64 {
+		t.WSBlocks = 64
+	}
+	t.Streaming = clamp(t.Streaming, 0, 0.95)
+	if t.CodeBlocks < 16 {
+		t.CodeBlocks = 16
+	}
+	return t
+}
+
+// Benchmark materializes the target as a generator-backed application.
+func Benchmark(name string, t Target, seed uint64) *trace.App {
+	t = t.Clamp()
+	intFrac := 1 - t.FPFrac - t.MemFrac
+	if intFrac < 0.05 {
+		intFrac = 0.05
+	}
+	ph := trace.Phase{
+		Name: "synthetic",
+		Mix: [6]float64{
+			0.85 * intFrac,   // IntALU
+			0.15 * intFrac,   // IntMulDiv
+			0.70 * t.FPFrac,  // FPALU
+			0.30 * t.FPFrac,  // FPMulDiv
+			0.72 * t.MemFrac, // Load
+			0.28 * t.MemFrac, // Store
+		},
+		MeanBB:         t.MeanBB,
+		TakenBias:      t.TakenBias,
+		Predictability: 0, // derived from bias and block size
+		DepProb1:       0.85,
+		DepProb2:       0.4,
+		DepDepth: [5]float64{
+			2.5 * t.ILP, 4 * t.ILP, 4 * t.ILP, 4 * t.ILP, 2.5 * t.ILP,
+		},
+
+		WSBlocks:   t.WSBlocks,
+		ReuseFrac:  0.7 - 0.5*t.Streaming,
+		ReuseDepth: 50 + float64(t.WSBlocks)/64,
+		StreamFrac: t.Streaming,
+		CodeBlocks: t.CodeBlocks,
+		LoopSpan:   6,
+	}
+	return &trace.App{Name: name, Seed: seed, Segments: []trace.Segment{
+		{Phase: ph, Insts: 10_000_000},
+	}}
+}
+
+// UniformSweep generates n synthetic benchmarks whose targets tile the
+// software space uniformly at random — the coordinated augmentation the
+// paper proposes for covering outliers like bwaves.
+func UniformSweep(n int, seed uint64) []*trace.App {
+	src := rng.New(seed)
+	apps := make([]*trace.App, n)
+	for i := range apps {
+		t := Target{
+			FPFrac:     src.Float64() * 0.8,
+			MemFrac:    0.1 + src.Float64()*0.4,
+			MeanBB:     3 + src.Float64()*12,
+			TakenBias:  0.3 + src.Float64()*0.65,
+			ILP:        0.5 + src.Float64()*3,
+			WSBlocks:   1 << (7 + src.Intn(10)), // 8 KB .. 4 MB
+			Streaming:  src.Float64() * 0.9,
+			CodeBlocks: 32 + src.Intn(512),
+		}
+		apps[i] = Benchmark(fmt.Sprintf("synth%03d", i), t, seed^uint64(i*0x9e37+1))
+	}
+	return apps
+}
+
+// CoverageGap measures how far a target application's mean characteristics
+// sit from the closest of a set of training applications, normalized by the
+// per-characteristic spread across all of them. Large gaps flag outliers
+// (bwaves in Figure 9); augmenting training data shrinks the gap.
+func CoverageGap(target profile.Characteristics, training []profile.Characteristics) float64 {
+	if len(training) == 0 {
+		return 0
+	}
+	// Per-characteristic scale: max-min across all points including target.
+	var lo, hi profile.Characteristics
+	lo = target
+	hi = target
+	for _, tr := range training {
+		for i, v := range tr {
+			if v < lo[i] {
+				lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+	}
+	bestDist := -1.0
+	for _, tr := range training {
+		var d float64
+		for i := range target {
+			scale := hi[i] - lo[i]
+			if scale == 0 {
+				continue
+			}
+			diff := (target[i] - tr[i]) / scale
+			d += diff * diff
+		}
+		if bestDist < 0 || d < bestDist {
+			bestDist = d
+		}
+	}
+	return bestDist
+}

@@ -1,0 +1,109 @@
+package synth
+
+import (
+	"testing"
+
+	"hsmodel/internal/profile"
+	"hsmodel/internal/trace"
+)
+
+func profileOf(app *trace.App) profile.Characteristics {
+	return profile.Stream(app.ShardStream(0, 30_000), app.Name, 0).X
+}
+
+func TestTargetsSteerCharacteristics(t *testing.T) {
+	fpHeavy := Benchmark("fp", Target{
+		FPFrac: 0.7, MemFrac: 0.15, MeanBB: 8, TakenBias: 0.9,
+		ILP: 2, WSBlocks: 4096, Streaming: 0.8, CodeBlocks: 100,
+	}, 1)
+	intHeavy := Benchmark("int", Target{
+		FPFrac: 0.0, MemFrac: 0.3, MeanBB: 5, TakenBias: 0.5,
+		ILP: 1, WSBlocks: 1024, Streaming: 0.05, CodeBlocks: 300,
+	}, 2)
+	pf := profileOf(fpHeavy)
+	pi := profileOf(intHeavy)
+	fpShareF := pf[profile.XFPALU] + pf[profile.XFPMulDiv]
+	fpShareI := pi[profile.XFPALU] + pi[profile.XFPMulDiv]
+	if fpShareF < 5*fpShareI+1 {
+		t.Errorf("FP target not honored: %v vs %v", fpShareF, fpShareI)
+	}
+	if pf[profile.XBasicBlock] <= pi[profile.XBasicBlock] {
+		t.Error("basic-block target not honored")
+	}
+	if pf[profile.XTakenBranches]/pf[profile.XControl] <=
+		pi[profile.XTakenBranches]/pi[profile.XControl] {
+		t.Error("taken-bias target not honored")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	c := Target{FPFrac: 5, MemFrac: -1, MeanBB: 100, ILP: 99, Streaming: 2}.Clamp()
+	if c.FPFrac > 0.85 || c.MemFrac < 0.05 || c.MeanBB > 16 || c.ILP > 4 || c.Streaming > 1 {
+		t.Errorf("Clamp failed: %+v", c)
+	}
+	if c.WSBlocks < 64 || c.CodeBlocks < 16 {
+		t.Errorf("Clamp floors failed: %+v", c)
+	}
+}
+
+func TestUniformSweep(t *testing.T) {
+	apps := UniformSweep(10, 3)
+	if len(apps) != 10 {
+		t.Fatalf("%d apps", len(apps))
+	}
+	names := make(map[string]bool)
+	for _, a := range apps {
+		if names[a.Name] {
+			t.Fatalf("duplicate name %s", a.Name)
+		}
+		names[a.Name] = true
+		if a.TimelineLen() == 0 {
+			t.Fatalf("%s has empty timeline", a.Name)
+		}
+		// Every synthetic benchmark must produce a valid stream.
+		p := profileOf(a)
+		if p[profile.XControl] <= 0 {
+			t.Fatalf("%s produced no control instructions", a.Name)
+		}
+	}
+	// Determinism.
+	again := UniformSweep(10, 3)
+	if profileOf(apps[4]) != profileOf(again[4]) {
+		t.Error("sweep not deterministic")
+	}
+}
+
+func TestCoverageGapFlagsOutlier(t *testing.T) {
+	// bwaves must be farther from the integer crowd than sjeng is
+	// (Figure 9's premise).
+	var training []profile.Characteristics
+	for _, app := range []*trace.App{trace.Astar(), trace.Bzip2(), trace.Hmmer(), trace.Omnetpp()} {
+		training = append(training, profileOf(app))
+	}
+	gapBwaves := CoverageGap(profileOf(trace.Bwaves()), training)
+	gapSjeng := CoverageGap(profileOf(trace.Sjeng()), training)
+	if gapBwaves <= gapSjeng {
+		t.Errorf("bwaves gap %v should exceed sjeng gap %v", gapBwaves, gapSjeng)
+	}
+	if CoverageGap(profile.Characteristics{}, nil) != 0 {
+		t.Error("empty training set should give zero gap")
+	}
+}
+
+func TestSyntheticAugmentationShrinksGap(t *testing.T) {
+	// Adding a uniform synthetic sweep to the training set must bring the
+	// nearest-neighbor distance for bwaves down — the Section 4.5 story.
+	var training []profile.Characteristics
+	for _, app := range []*trace.App{trace.Astar(), trace.Bzip2(), trace.Hmmer(), trace.Omnetpp()} {
+		training = append(training, profileOf(app))
+	}
+	target := profileOf(trace.Bwaves())
+	before := CoverageGap(target, training)
+	for _, app := range UniformSweep(20, 11) {
+		training = append(training, profileOf(app))
+	}
+	after := CoverageGap(target, training)
+	if after >= before {
+		t.Errorf("augmentation did not shrink coverage gap: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"hsmodel/internal/isa"
+)
+
+func TestShardStreamDeterminism(t *testing.T) {
+	app := Astar()
+	a := isa.Collect(app.ShardStream(3, 5000), 0)
+	b := isa.Collect(app.ShardStream(3, 5000), 0)
+	if len(a) != 5000 || len(b) != 5000 {
+		t.Fatalf("shard lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs between identical shard streams", i)
+		}
+	}
+}
+
+func TestShardsDiffer(t *testing.T) {
+	app := Bzip2()
+	a := isa.Collect(app.ShardStream(0, 2000), 0)
+	b := isa.Collect(app.ShardStream(1, 2000), 0)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different shards produced identical streams")
+	}
+}
+
+// classFractions counts per-class shares of a stream.
+func classFractions(insts []isa.Inst) [isa.NumClasses]float64 {
+	var counts [isa.NumClasses]float64
+	for i := range insts {
+		counts[insts[i].Class]++
+	}
+	for i := range counts {
+		counts[i] /= float64(len(insts))
+	}
+	return counts
+}
+
+func TestMixMatchesPhaseWeights(t *testing.T) {
+	app := Hmmer()
+	insts := isa.Collect(app.ShardStream(0, 100_000), 0)
+	frac := classFractions(insts)
+	ph := app.Segments[0].Phase
+
+	// Branch share should be ~1/MeanBB.
+	wantBranch := 1 / ph.MeanBB
+	if math.Abs(frac[isa.Branch]-wantBranch)/wantBranch > 0.15 {
+		t.Errorf("branch fraction %v, want ~%v", frac[isa.Branch], wantBranch)
+	}
+	// Non-branch classes should be proportional to mix weights.
+	var mixTotal float64
+	for _, w := range ph.Mix {
+		mixTotal += w
+	}
+	nonBranch := 1 - frac[isa.Branch]
+	for c := 0; c < 6; c++ {
+		want := ph.Mix[c] / mixTotal * nonBranch
+		if want < 0.02 {
+			continue // tiny classes are noisy
+		}
+		if math.Abs(frac[c]-want)/want > 0.2 {
+			t.Errorf("class %v fraction %v, want ~%v", isa.Class(c), frac[c], want)
+		}
+	}
+}
+
+func TestBasicBlockStructure(t *testing.T) {
+	app := Sjeng()
+	insts := isa.Collect(app.ShardStream(2, 50_000), 0)
+	// Every BlockEnd instruction must be a branch and vice versa.
+	branches := 0
+	for i := range insts {
+		isBr := insts[i].Class == isa.Branch
+		if isBr != insts[i].BlockEnd {
+			t.Fatalf("inst %d: branch=%v blockEnd=%v", i, isBr, insts[i].BlockEnd)
+		}
+		if isBr {
+			branches++
+		}
+	}
+	meanBB := float64(len(insts)) / float64(branches)
+	want := app.Segments[0].Phase.MeanBB
+	if math.Abs(meanBB-want)/want > 0.2 {
+		t.Errorf("mean basic block %v, want ~%v", meanBB, want)
+	}
+}
+
+func TestDependenceDistancesValid(t *testing.T) {
+	app := Omnetpp()
+	insts := isa.Collect(app.ShardStream(1, 30_000), 0)
+	for i := range insts {
+		for _, d := range []int32{insts[i].Dep1, insts[i].Dep2} {
+			if d < 0 || d > isa.MaxDepDistance {
+				t.Fatalf("inst %d: dep distance %d out of range", i, d)
+			}
+			if int(d) > i {
+				t.Fatalf("inst %d: dep distance %d reaches before stream start", i, d)
+			}
+		}
+	}
+}
+
+func TestMemoryAddressesOnlyOnMemoryOps(t *testing.T) {
+	app := GemsFDTD()
+	insts := isa.Collect(app.ShardStream(0, 20_000), 0)
+	memOps := 0
+	for i := range insts {
+		if insts[i].Class.IsMemory() {
+			memOps++
+		} else if insts[i].Addr != 0 {
+			t.Fatalf("non-memory inst %d has address %x", i, insts[i].Addr)
+		}
+	}
+	if memOps == 0 {
+		t.Fatal("no memory operations generated")
+	}
+}
+
+func TestPhaseAtAndTimeline(t *testing.T) {
+	app := Bwaves()
+	tl := app.TimelineLen()
+	if tl != 10_000_000 {
+		t.Fatalf("timeline length %d", tl)
+	}
+	p0, seg0 := app.PhaseAt(0)
+	if p0.Name != "fp-stream" || seg0 != 0 {
+		t.Fatalf("PhaseAt(0) = %s/%d", p0.Name, seg0)
+	}
+	p1, seg1 := app.PhaseAt(6_000_000)
+	if p1.Name != "fp-solve" || seg1 != 1 {
+		t.Fatalf("PhaseAt(6M) = %s/%d", p1.Name, seg1)
+	}
+	// Timeline wraps.
+	pw, _ := app.PhaseAt(tl + 1)
+	if pw.Name != "fp-stream" {
+		t.Fatalf("PhaseAt wrap = %s", pw.Name)
+	}
+}
+
+func TestSPEC2006RosterAndByName(t *testing.T) {
+	apps := SPEC2006()
+	if len(apps) != 7 {
+		t.Fatalf("%d applications, want 7", len(apps))
+	}
+	want := []string{"astar", "bwaves", "bzip2", "gemsFDTD", "hmmer", "omnetpp", "sjeng"}
+	for i, a := range apps {
+		if a.Name != want[i] {
+			t.Errorf("app %d = %s, want %s", i, a.Name, want[i])
+		}
+		if a.TimelineLen() == 0 {
+			t.Errorf("%s has empty timeline", a.Name)
+		}
+	}
+	if _, err := ByName("bwaves"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("ByName should fail for unknown application")
+	}
+}
+
+func TestVariantsChangeBehavior(t *testing.T) {
+	base := Bzip2()
+	o3 := WithOpt(base, OptO3)
+	if o3.Name != "bzip2-O3" {
+		t.Fatalf("variant name %s", o3.Name)
+	}
+	if o3.Seed == base.Seed {
+		t.Error("variant must reseed")
+	}
+	// O3 lengthens dependence distances and basic blocks.
+	baseDeps := meanDepDistance(isa.Collect(base.ShardStream(0, 40_000), 0))
+	o3Deps := meanDepDistance(isa.Collect(o3.ShardStream(0, 40_000), 0))
+	if o3Deps <= baseDeps {
+		t.Errorf("O3 dep distance %v should exceed base %v", o3Deps, baseDeps)
+	}
+	o1 := WithOpt(base, OptO1)
+	o1Deps := meanDepDistance(isa.Collect(o1.ShardStream(0, 40_000), 0))
+	if o1Deps >= baseDeps {
+		t.Errorf("O1 dep distance %v should be below base %v", o1Deps, baseDeps)
+	}
+	// WithOpt(OptBase) is the identity.
+	if WithOpt(base, OptBase) != base {
+		t.Error("OptBase should return the app unchanged")
+	}
+}
+
+func meanDepDistance(insts []isa.Inst) float64 {
+	var sum float64
+	var n int
+	for i := range insts {
+		if insts[i].Dep1 > 0 {
+			sum += float64(insts[i].Dep1)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func TestInputVariantsScaleWorkingSet(t *testing.T) {
+	base := Omnetpp()
+	v3 := WithInput(base, InputV3)
+	if v3.Name != "omnetpp-v3" {
+		t.Fatalf("variant name %s", v3.Name)
+	}
+	for i := range v3.Segments {
+		if v3.Segments[i].Phase.WSBlocks <= base.Segments[i].Phase.WSBlocks {
+			t.Errorf("segment %d: v3 working set should grow", i)
+		}
+	}
+	v1 := WithInput(base, InputV1)
+	for i := range v1.Segments {
+		if v1.Segments[i].Phase.WSBlocks >= base.Segments[i].Phase.WSBlocks {
+			t.Errorf("segment %d: v1 working set should shrink", i)
+		}
+	}
+	if len(Variants(base)) != 5 {
+		t.Error("Variants should return the five Section 4.4 variants")
+	}
+}
+
+func TestBwavesIsFPOutlier(t *testing.T) {
+	// The Figure 9 contrast: bwaves has far more FP and taken branches,
+	// fewer int/memory ops, than sjeng.
+	bw := classFractions(isa.Collect(Bwaves().ShardStream(0, 50_000), 0))
+	sj := classFractions(isa.Collect(Sjeng().ShardStream(0, 50_000), 0))
+	fpBW := bw[isa.FPALU] + bw[isa.FPMulDiv]
+	fpSJ := sj[isa.FPALU] + sj[isa.FPMulDiv]
+	if fpBW < 10*fpSJ {
+		t.Errorf("bwaves FP share %v should dwarf sjeng's %v", fpBW, fpSJ)
+	}
+	memBW := bw[isa.Load] + bw[isa.Store]
+	memSJ := sj[isa.Load] + sj[isa.Store]
+	if memBW >= memSJ {
+		t.Errorf("bwaves memory share %v should be below sjeng's %v", memBW, memSJ)
+	}
+}
