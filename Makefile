@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build vet test race ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate: compile, static analysis, plain tests, then the race
+# detector over the whole tree (the parallel fitness pool and the
+# fault-injection schedules are the usual suspects).
+ci: build vet test race

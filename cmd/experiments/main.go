@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hsmodel/internal/experiments"
@@ -50,7 +53,10 @@ func main() {
 		cfg = experiments.Paper()
 	}
 	cfg.Seed = *seed
-	w := experiments.NewWorkspace(cfg)
+	// ^C cancels the running experiment within one search generation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w := experiments.NewWorkspaceContext(ctx, cfg)
 
 	ids := args
 	if len(args) == 1 && args[0] == "all" {

@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"hsmodel/internal/core"
 	"hsmodel/internal/genetic"
@@ -27,12 +30,16 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	// ^C cancels in-flight training within one search generation instead of
+	// killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "profile":
 		err = cmdProfile(os.Args[2:])
 	case "train":
-		err = cmdTrain(os.Args[2:])
+		err = cmdTrain(ctx, os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
 	default:
@@ -71,7 +78,7 @@ func cmdProfile(args []string) error {
 	return nil
 }
 
-func cmdTrain(args []string) error {
+func cmdTrain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	samples := fs.Int("samples", 120, "training (shard, architecture) pairs per application")
 	shardLen := fs.Int("shardlen", 50_000, "shard length in instructions")
@@ -79,6 +86,7 @@ func cmdTrain(args []string) error {
 	gens := fs.Int("gens", 12, "genetic generations")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("out", "model.json", "output model path")
+	timeout := fs.Duration("timeout", 0, "genetic search deadline before degrading to stepwise (0 = none)")
 	fs.Parse(args)
 
 	apps := trace.SPEC2006()
@@ -87,8 +95,20 @@ func cmdTrain(args []string) error {
 	m := core.NewModeler(col.Collect(apps, *samples, *seed))
 	m.Search = genetic.Params{PopulationSize: *pop, Generations: *gens, Seed: *seed}
 	fmt.Fprintln(os.Stderr, "training...")
-	if err := m.Train(); err != nil {
+	// Degradation ladder: genetic search, then stepwise, then the last-good
+	// model already at -out (if any). See DESIGN.md "Failure modes".
+	rep, err := m.TrainResilient(ctx, core.Resilience{
+		SearchTimeout: *timeout,
+		LastGoodPath:  *out,
+	})
+	if err != nil {
 		return err
+	}
+	fmt.Fprintln(os.Stderr, rep)
+	if rep.Rung == core.RungLastGood {
+		// The model on disk is already the one being served; do not rewrite it.
+		fmt.Fprintf(os.Stderr, "keeping existing model at %s\n", *out)
+		return nil
 	}
 	fmt.Fprintf(os.Stderr, "best fitness %.4f, spec: %s\n",
 		m.Population()[0].Fitness, m.Population()[0].Spec)

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hsmodel/internal/genetic"
 	"hsmodel/internal/spmv"
@@ -27,6 +30,10 @@ func main() {
 		list       = flag.Bool("list", false, "list matrices and exit")
 	)
 	flag.Parse()
+
+	// ^C cancels in-flight training within one search generation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *list {
 		for _, ms := range spmv.Corpus() {
@@ -51,7 +58,7 @@ func main() {
 	opts := spmv.TuneOptions{Study: study, CacheCandidates: *candidates, Seed: *seed}
 	if !*exhaustive {
 		fmt.Printf("training models on %d samples...\n", *samples)
-		models, err := spmv.TrainModels(spec.Name, study.Sample(*samples, *seed), spmv.TrainOptions{
+		models, err := spmv.TrainModels(ctx, spec.Name, study.Sample(*samples, *seed), spmv.TrainOptions{
 			Search: genetic.Params{PopulationSize: 24, Generations: 10, Seed: *seed},
 		})
 		if err != nil {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,6 +26,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The reconfigurable core's operating points.
 	points := map[string]hwspace.Config{
 		"throughput":  hwspace.FromIndices(hwspace.Indices{3, 4, 1, 3, 2, 2, 3, 1, 3, 1, 2, 1, 3}),
@@ -48,7 +50,7 @@ func main() {
 	fmt.Println("bootstrapping model without gemsFDTD...")
 	m := core.NewModeler(col.Collect(boot, 90, 5))
 	m.Search = genetic.Params{PopulationSize: 28, Generations: 8, Seed: 21}
-	if err := m.Train(); err != nil {
+	if err := m.Train(ctx); err != nil {
 		log.Fatal(err)
 	}
 
@@ -85,7 +87,7 @@ func main() {
 		// re-specify (10+ accrued profiles and still inaccurate).
 		accrued = append(accrued, chosen)
 		if len(accrued) == 12 {
-			d, err := m.Perturb(accrued, core.UpdatePolicy{ErrThreshold: 0.08, MinProfiles: 10})
+			d, err := m.Perturb(ctx, accrued, core.UpdatePolicy{ErrThreshold: 0.08, MinProfiles: 10})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -34,6 +35,7 @@ type nodeType struct {
 }
 
 func main() {
+	ctx := context.Background()
 	// Cluster: three node flavors from the Table 2 space.
 	nodes := []nodeType{
 		{"big", hwspace.FromIndices(hwspace.Indices{3, 5, 2, 4, 3, 3, 4, 0, 3, 1, 2, 1, 3}), 5},
@@ -47,7 +49,7 @@ func main() {
 	fmt.Println("bootstrapping model from historical profiles...")
 	m := core.NewModeler(col.Collect(apps, 100, 11))
 	m.Search = genetic.Params{PopulationSize: 30, Generations: 8, Seed: 3}
-	if err := m.Train(); err != nil {
+	if err := m.Train(ctx); err != nil {
 		log.Fatal(err)
 	}
 

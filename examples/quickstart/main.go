@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. Workloads: the seven SPEC2006 stand-ins.
 	apps := trace.SPEC2006()
 
@@ -32,7 +34,7 @@ func main() {
 	modeler := core.NewModeler(samples)
 	modeler.Search = genetic.Params{PopulationSize: 30, Generations: 8, Seed: 7}
 	fmt.Println("training (genetic search over model specifications)...")
-	if err := modeler.Train(); err != nil {
+	if err := modeler.Train(ctx); err != nil {
 		log.Fatal(err)
 	}
 	best := modeler.Population()[0]

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	name := "raefsky3"
 	if len(os.Args) > 1 {
 		name = os.Args[1]
@@ -31,7 +33,7 @@ func main() {
 	study := spmv.NewStudy(spec)
 	fmt.Println("sampling 300 (block size, cache) points and training models...")
 	points := study.Sample(300, 7)
-	models, err := spmv.TrainModels(spec.Name, points, spmv.TrainOptions{
+	models, err := spmv.TrainModels(ctx, spec.Name, points, spmv.TrainOptions{
 		Search: genetic.Params{PopulationSize: 24, Generations: 10, Seed: 9},
 	})
 	if err != nil {

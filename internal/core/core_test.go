@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"hsmodel/internal/genetic"
@@ -112,7 +113,7 @@ func trainSmallModeler(t *testing.T) (*Modeler, []Sample) {
 	valid := col.Collect(apps, 10, 2)
 	m := NewModeler(train)
 	m.Search = genetic.Params{PopulationSize: 16, Generations: 5, Seed: 42}
-	if err := m.Train(); err != nil {
+	if err := m.Train(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return m, valid
@@ -165,7 +166,7 @@ func TestPredictShardAndApplication(t *testing.T) {
 
 func TestUntrainedModelerErrors(t *testing.T) {
 	m := NewModeler(nil)
-	if err := m.Train(); err == nil {
+	if err := m.Train(context.Background()); err == nil {
 		t.Error("training on no samples should fail")
 	}
 	if _, err := m.PredictShard(profile.Characteristics{}, hwspace.Baseline()); err == nil {
@@ -174,7 +175,7 @@ func TestUntrainedModelerErrors(t *testing.T) {
 	if _, err := m.PredictApplication(nil, hwspace.Baseline()); err == nil {
 		t.Error("empty application prediction should fail")
 	}
-	if _, err := m.Perturb([]Sample{{}}, UpdatePolicy{}); err == nil {
+	if _, err := m.Perturb(context.Background(), []Sample{{}}, UpdatePolicy{}); err == nil {
 		t.Error("Perturb before Train should fail")
 	}
 }
@@ -184,7 +185,7 @@ func TestPerturbAccurateRetainsModel(t *testing.T) {
 	// More samples of already-trained applications: the model should be
 	// retained (their behavior is shared).
 	more := smallCollector().Collect(smallApps(), 8, 77)
-	d, err := m.Perturb(more, UpdatePolicy{ErrThreshold: 0.5})
+	d, err := m.Perturb(context.Background(), more, UpdatePolicy{ErrThreshold: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestPerturbInaccurateFewSamplesAccrues(t *testing.T) {
 	for i := range novel {
 		novel[i].AppID = 3
 	}
-	d, err := m.Perturb(novel, UpdatePolicy{ErrThreshold: 0.01, MinProfiles: 10})
+	d, err := m.Perturb(context.Background(), novel, UpdatePolicy{ErrThreshold: 0.01, MinProfiles: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestPerturbTriggersUpdate(t *testing.T) {
 		novel[i].AppID = 3
 	}
 	before := m.Model()
-	d, err := m.Perturb(novel, UpdatePolicy{ErrThreshold: 0.0001, MinProfiles: 10})
+	d, err := m.Perturb(context.Background(), novel, UpdatePolicy{ErrThreshold: 0.0001, MinProfiles: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestUpdateWarmStartsFromPopulation(t *testing.T) {
 	m, valid := trainSmallModeler(t)
 	firstBest := m.Population()[0].Fitness
 	m.AddSamples(smallCollector().Collect(smallApps(), 10, 30))
-	if err := m.Update(); err != nil {
+	if err := m.Update(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	met, err := m.EvaluateOn(valid)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -64,6 +65,10 @@ type Modeler struct {
 	Stabilize bool
 	// LogResponse fits log CPI (on by default through NewModeler).
 	LogResponse bool
+	// WrapEvaluator, when non-nil, wraps the fitness evaluator before it is
+	// handed to the search. It exists as a seam for fault injection and
+	// instrumentation; production callers leave it nil.
+	WrapEvaluator func(genetic.Evaluator) genetic.Evaluator
 
 	model      *regress.Model
 	population []genetic.Individual // final population, for warm-started updates
@@ -189,29 +194,37 @@ func (m *Modeler) SumOfMedianErrors(fitness float64) float64 {
 }
 
 // Train runs the genetic search on the current samples and fits the final
-// model on all rows.
-func (m *Modeler) Train() error {
-	return m.train(nil)
+// model on all rows. Cancellation of ctx (or an expired Search.Deadline)
+// aborts the search and returns an error wrapping genetic.ErrCancelled; a
+// failed or cancelled Train never clobbers a previously fitted model, so
+// the modeler keeps serving its last-good model. See TrainResilient for the
+// variant that degrades through fallbacks instead of returning the error.
+func (m *Modeler) Train(ctx context.Context) error {
+	return m.train(ctx, nil)
 }
 
 // Update re-specifies and refits the model after the sample store changed,
 // warm-starting the search from the previous population (Section 3.3: "we
 // invoke a heuristic to re-specify and perform a weighted fit of the
 // model"). Update on an untrained modeler is equivalent to Train.
-func (m *Modeler) Update() error {
+func (m *Modeler) Update(ctx context.Context) error {
 	var seeds []regress.Spec
 	for _, ind := range m.population {
 		seeds = append(seeds, ind.Spec)
 	}
-	return m.train(seeds)
+	return m.train(ctx, seeds)
 }
 
-func (m *Modeler) train(initial []regress.Spec) error {
+func (m *Modeler) train(ctx context.Context, initial []regress.Spec) error {
 	if len(m.Samples) == 0 {
 		return ErrNoSamples
 	}
 	ds := ToDataset(m.Samples)
-	ev := newEvaluator(ds, m.Fitness, m.Stabilize, m.LogResponse)
+	base := newEvaluator(ds, m.Fitness, m.Stabilize, m.LogResponse)
+	var ev genetic.Evaluator = base
+	if m.WrapEvaluator != nil {
+		ev = m.WrapEvaluator(ev)
+	}
 
 	params := m.Search
 	params.Initial = initial
@@ -222,11 +235,15 @@ func (m *Modeler) train(initial []regress.Spec) error {
 			m.Search.OnGeneration(gs)
 		}
 	}
-	res := genetic.Search(NumVars, ev, params)
+	res, serr := genetic.Search(ctx, NumVars, ev, params)
+	// Even a partial population is kept: it warm-starts the next attempt.
 	m.population = res.Population
+	if serr != nil {
+		return fmt.Errorf("core: search failed: %w", serr)
+	}
 
 	// Final fit: best specification, all rows, uniform weights.
-	model, err := regress.FitSpec(res.Best.Spec, ev.prep, ds, regress.Options{
+	model, err := regress.FitSpec(res.Best.Spec, base.prep, ds, regress.Options{
 		LogResponse: m.LogResponse,
 	})
 	if err != nil {

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"hsmodel/internal/regress"
 )
@@ -18,14 +21,49 @@ type SavedModel struct {
 	Version int `json:"version"`
 	// ShardLen is the profiling shard length in instructions.
 	ShardLen int `json:"shard_len"`
+	// Checksum is the hex SHA-256 of the model's canonical JSON encoding.
+	// Load recomputes it so torn or bit-rotted files are detected instead of
+	// half-loaded. Model JSON is deterministic: the struct has a fixed field
+	// order and float64 round-trips exactly through encoding/json.
+	Checksum string `json:"checksum"`
 	// Model is the fitted regression over the 26 integrated variables.
 	Model *regress.Model `json:"model"`
 }
 
-// savedModelVersion is the current format version.
-const savedModelVersion = 1
+// savedModelVersion is the current format version. Version 2 added the
+// payload checksum; version-1 files are rejected with ErrModelVersion.
+const savedModelVersion = 2
 
-// Save serializes the trained model to path as indented JSON.
+// Typed persistence errors, distinguishable with errors.Is. They are the
+// contract the degradation ladder and operators rely on: each names a
+// different corruption mode of a model file.
+var (
+	// ErrModelCorrupt: the file is not valid JSON (torn write, garbage).
+	ErrModelCorrupt = errors.New("core: model file is not valid JSON")
+	// ErrModelVersion: the format version is not the current one.
+	ErrModelVersion = errors.New("core: model file version mismatch")
+	// ErrModelIncomplete: structurally valid JSON missing required parts.
+	ErrModelIncomplete = errors.New("core: saved model is incomplete")
+	// ErrModelShape: the model was trained over a different variable space.
+	ErrModelShape = errors.New("core: saved model variable count mismatch")
+	// ErrModelChecksum: the payload does not match its recorded checksum.
+	ErrModelChecksum = errors.New("core: model payload checksum mismatch")
+)
+
+// modelChecksum returns the hex SHA-256 of the model's JSON encoding.
+func modelChecksum(m *regress.Model) (string, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Save serializes the trained model to path as indented JSON. The write is
+// crash-safe: data goes to a temp file in the same directory, is synced, and
+// is renamed over path, so a crash mid-save leaves either the old model or
+// the new one — never a torn file.
 func (m *Modeler) Save(path string, shardLen int) error {
 	if m.model == nil {
 		return errors.New("core: Save before Train")
@@ -33,19 +71,49 @@ func (m *Modeler) Save(path string, shardLen int) error {
 	if shardLen <= 0 {
 		shardLen = DefaultShardLen
 	}
+	sum, err := modelChecksum(m.model)
+	if err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
 	data, err := json.MarshalIndent(SavedModel{
 		Version:  savedModelVersion,
 		ShardLen: shardLen,
+		Checksum: sum,
 		Model:    m.model,
 	}, "", " ")
 	if err != nil {
 		return fmt.Errorf("core: encoding model: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	return nil
 }
 
-// Load reads a model saved by Save. The returned Modeler predicts but holds
-// no samples; call AddSamples and Update to continue training it.
+// Load reads a model saved by Save, verifying format version, structural
+// completeness, variable count, and payload checksum; each failure mode
+// returns a distinct typed error (see ErrModel*). The returned Modeler
+// predicts but holds no samples; call AddSamples and Update to continue
+// training it.
 func Load(path string) (*Modeler, int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -53,17 +121,25 @@ func Load(path string) (*Modeler, int, error) {
 	}
 	var saved SavedModel
 	if err := json.Unmarshal(data, &saved); err != nil {
-		return nil, 0, fmt.Errorf("core: decoding model: %w", err)
+		return nil, 0, fmt.Errorf("%w: %v", ErrModelCorrupt, err)
 	}
 	if saved.Version != savedModelVersion {
-		return nil, 0, fmt.Errorf("core: model format version %d, want %d", saved.Version, savedModelVersion)
+		return nil, 0, fmt.Errorf("%w: found %d, want %d", ErrModelVersion, saved.Version, savedModelVersion)
 	}
 	if saved.Model == nil || saved.Model.Prep == nil || len(saved.Model.Coef) == 0 {
-		return nil, 0, errors.New("core: saved model is incomplete")
+		return nil, 0, ErrModelIncomplete
 	}
 	if saved.Model.Prep.NumVars() != NumVars {
-		return nil, 0, fmt.Errorf("core: saved model has %d variables, want %d",
-			saved.Model.Prep.NumVars(), NumVars)
+		return nil, 0, fmt.Errorf("%w: %d variables, want %d",
+			ErrModelShape, saved.Model.Prep.NumVars(), NumVars)
+	}
+	sum, err := modelChecksum(saved.Model)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrModelCorrupt, err)
+	}
+	if sum != saved.Checksum {
+		return nil, 0, fmt.Errorf("%w: stored %.12s…, computed %.12s…",
+			ErrModelChecksum, saved.Checksum, sum)
 	}
 	m := NewModeler(nil)
 	m.model = saved.Model

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -40,23 +43,138 @@ func TestSaveBeforeTrainFails(t *testing.T) {
 	}
 }
 
-func TestLoadRejectsGarbage(t *testing.T) {
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	m, _ := trainSmallModeler(t)
 	dir := t.TempDir()
-	cases := map[string]string{
-		"notjson.json": "not json at all",
-		"empty.json":   `{"version":1,"shard_len":100}`,
-		"badver.json":  `{"version":99,"shard_len":100,"model":{}}`,
+	if err := m.Save(filepath.Join(dir, "model.json"), testShardLen); err != nil {
+		t.Fatal(err)
 	}
-	for name, content := range cases {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "model.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory after Save: %v, want only model.json", names)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	// Saving over an existing model must replace it wholesale (rename), so a
+	// reader always sees a complete file.
+	m, _ := trainSmallModeler(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path, testShardLen); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(path, testShardLen+1); err != nil {
+		t.Fatal(err)
+	}
+	if _, shardLen, err := Load(path); err != nil || shardLen != testShardLen+1 {
+		t.Fatalf("Load after overwrite: shardLen=%d err=%v", shardLen, err)
+	}
+}
+
+// saveValid trains once and returns the path of a known-good model file.
+func saveValid(t *testing.T) string {
+	t.Helper()
+	m, _ := trainSmallModeler(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path, testShardLen); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadFailureModes exercises every corruption class with the distinct
+// typed error it must map to.
+func TestLoadFailureModes(t *testing.T) {
+	good, err := os.ReadFile(saveValid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
 		p := filepath.Join(dir, name)
-		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		if err := os.WriteFile(p, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := Load(p); err == nil {
-			t.Errorf("%s: Load should fail", name)
+		return p
+	}
+
+	t.Run("truncated JSON", func(t *testing.T) {
+		p := write("torn.json", good[:len(good)/2])
+		if _, _, err := Load(p); !errors.Is(err, ErrModelCorrupt) {
+			t.Errorf("err = %v, want ErrModelCorrupt", err)
 		}
-	}
-	if _, _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
-		t.Error("missing file should fail")
-	}
+	})
+
+	t.Run("not JSON at all", func(t *testing.T) {
+		p := write("garbage.json", []byte("not json at all"))
+		if _, _, err := Load(p); !errors.Is(err, ErrModelCorrupt) {
+			t.Errorf("err = %v, want ErrModelCorrupt", err)
+		}
+	})
+
+	t.Run("wrong version", func(t *testing.T) {
+		bad := strings.Replace(string(good), `"version": 2`, `"version": 1`, 1)
+		if bad == string(good) {
+			t.Fatal("version field not found in saved file")
+		}
+		p := write("badver.json", []byte(bad))
+		if _, _, err := Load(p); !errors.Is(err, ErrModelVersion) {
+			t.Errorf("err = %v, want ErrModelVersion", err)
+		}
+	})
+
+	t.Run("incomplete model", func(t *testing.T) {
+		p := write("empty.json", []byte(`{"version":2,"shard_len":100}`))
+		if _, _, err := Load(p); !errors.Is(err, ErrModelIncomplete) {
+			t.Errorf("err = %v, want ErrModelIncomplete", err)
+		}
+	})
+
+	t.Run("wrong variable count", func(t *testing.T) {
+		var saved SavedModel
+		if err := json.Unmarshal(good, &saved); err != nil {
+			t.Fatal(err)
+		}
+		saved.Model.Prep.Names = saved.Model.Prep.Names[:5]
+		saved.Model.Prep.Powers = saved.Model.Prep.Powers[:5]
+		data, err := json.Marshal(saved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := write("shape.json", data)
+		if _, _, err := Load(p); !errors.Is(err, ErrModelShape) {
+			t.Errorf("err = %v, want ErrModelShape", err)
+		}
+	})
+
+	t.Run("bad checksum", func(t *testing.T) {
+		// Flip one coefficient digit without touching the stored checksum:
+		// the payload no longer matches and Load must refuse it.
+		var saved SavedModel
+		if err := json.Unmarshal(good, &saved); err != nil {
+			t.Fatal(err)
+		}
+		saved.Model.Coef[0] += 1e-3
+		data, err := json.Marshal(saved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := write("bitrot.json", data)
+		if _, _, err := Load(p); !errors.Is(err, ErrModelChecksum) {
+			t.Errorf("err = %v, want ErrModelChecksum", err)
+		}
+	})
+
+	t.Run("missing file", func(t *testing.T) {
+		if _, _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+			t.Error("missing file should fail")
+		}
+	})
 }

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/regress"
+)
+
+// Rung identifies which level of the degradation ladder produced the model
+// the Modeler is serving.
+type Rung int
+
+const (
+	// RungNone: no rung produced a usable model; the modeler is as it was.
+	RungNone Rung = iota
+	// RungGenetic: the full genetic search succeeded (the healthy path).
+	RungGenetic
+	// RungStepwise: genetic search failed or timed out; the cheaper forward
+	// stepwise search produced the model.
+	RungStepwise
+	// RungLastGood: both searches failed; the modeler serves the last-good
+	// model (reloaded from disk, or the previous in-memory fit).
+	RungLastGood
+)
+
+func (r Rung) String() string {
+	switch r {
+	case RungGenetic:
+		return "genetic"
+	case RungStepwise:
+		return "stepwise"
+	case RungLastGood:
+		return "last-good"
+	default:
+		return "none"
+	}
+}
+
+// Resilience configures the degradation ladder of TrainResilient.
+type Resilience struct {
+	// SearchTimeout bounds the genetic rung; 0 means no deadline beyond the
+	// caller's context.
+	SearchTimeout time.Duration
+	// StepwiseBudget caps fitness evaluations in the stepwise rung
+	// (default 200, roughly the cost of a few genetic generations).
+	StepwiseBudget int
+	// LastGoodPath, when non-empty, names a model file written by Save to
+	// reload if both searches fail.
+	LastGoodPath string
+}
+
+func (r Resilience) withDefaults() Resilience {
+	if r.StepwiseBudget <= 0 {
+		r.StepwiseBudget = 200
+	}
+	return r
+}
+
+// TrainReport records which rung of the ladder produced the served model and
+// what failed on the way down. Errors for rungs that were never needed are
+// nil.
+type TrainReport struct {
+	Rung        Rung
+	GeneticErr  error // why the genetic rung failed (or nil)
+	StepwiseErr error // why the stepwise rung failed or was skipped (or nil)
+	LoadErr     error // why reloading LastGoodPath failed (or nil)
+}
+
+func (t TrainReport) String() string {
+	s := "trained via " + t.Rung.String()
+	if t.GeneticErr != nil {
+		s += fmt.Sprintf(" (genetic: %v)", t.GeneticErr)
+	}
+	if t.StepwiseErr != nil {
+		s += fmt.Sprintf(" (stepwise: %v)", t.StepwiseErr)
+	}
+	if t.LoadErr != nil {
+		s += fmt.Sprintf(" (last-good load: %v)", t.LoadErr)
+	}
+	return s
+}
+
+// TrainResilient trains through a degradation ladder instead of failing:
+//
+//  1. Full genetic search (optionally deadline-bounded by SearchTimeout).
+//  2. On failure, forward stepwise search under StepwiseBudget — unless the
+//     caller's context is already dead, in which case no further compute is
+//     spent.
+//  3. On failure again, the last-good model: reloaded from LastGoodPath if
+//     set and readable, else the previous in-memory fit (train never
+//     clobbers a fitted model on failure).
+//
+// The report says which rung the served model came from; the error is
+// non-nil only when every rung failed and the modeler has no model at all.
+// This is the always-available behavior the paper's update protocol assumes:
+// the model keeps answering while it is re-specified, even when
+// re-specification goes wrong.
+func (m *Modeler) TrainResilient(ctx context.Context, r Resilience) (TrainReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r = r.withDefaults()
+	var rep TrainReport
+
+	gctx := ctx
+	if r.SearchTimeout > 0 {
+		var cancel context.CancelFunc
+		gctx, cancel = context.WithTimeout(ctx, r.SearchTimeout)
+		defer cancel()
+	}
+	if err := m.Train(gctx); err == nil {
+		rep.Rung = RungGenetic
+		return rep, nil
+	} else {
+		rep.GeneticErr = err
+	}
+
+	if err := ctx.Err(); err != nil {
+		rep.StepwiseErr = fmt.Errorf("core: stepwise rung skipped: %w", err)
+	} else if err := m.trainStepwise(ctx, r.StepwiseBudget); err == nil {
+		rep.Rung = RungStepwise
+		return rep, nil
+	} else {
+		rep.StepwiseErr = err
+	}
+
+	if r.LastGoodPath != "" {
+		if loaded, _, err := Load(r.LastGoodPath); err == nil {
+			m.model = loaded.model
+			rep.Rung = RungLastGood
+			return rep, nil
+		} else {
+			rep.LoadErr = err
+		}
+	}
+	if m.model != nil {
+		rep.Rung = RungLastGood
+		return rep, nil
+	}
+	rep.Rung = RungNone
+	return rep, fmt.Errorf("core: all rungs failed: genetic: %w; stepwise: %w",
+		rep.GeneticErr, rep.StepwiseErr)
+}
+
+// trainStepwise is the stepwise rung: same evaluator and final-fit protocol
+// as train, but driven by the cheap forward stepwise search.
+func (m *Modeler) trainStepwise(ctx context.Context, budget int) error {
+	if len(m.Samples) == 0 {
+		return ErrNoSamples
+	}
+	ds := ToDataset(m.Samples)
+	base := newEvaluator(ds, m.Fitness, m.Stabilize, m.LogResponse)
+	var ev genetic.Evaluator = base
+	if m.WrapEvaluator != nil {
+		ev = m.WrapEvaluator(ev)
+	}
+	res, serr := genetic.Stepwise(ctx, NumVars, ev, budget)
+	if serr != nil {
+		return fmt.Errorf("core: stepwise search failed: %w", serr)
+	}
+	model, err := regress.FitSpec(res.Best.Spec, base.prep, ds, regress.Options{
+		LogResponse: m.LogResponse,
+	})
+	if err != nil {
+		return fmt.Errorf("core: final fit failed: %w", err)
+	}
+	m.model = model
+	m.population = res.Population
+	return nil
+}

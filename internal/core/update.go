@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hsmodel/internal/regress"
@@ -70,7 +71,7 @@ func (d Decision) String() string {
 //
 // The new samples are always added to the store so future training sees
 // them.
-func (m *Modeler) Perturb(newSamples []Sample, policy UpdatePolicy) (Decision, error) {
+func (m *Modeler) Perturb(ctx context.Context, newSamples []Sample, policy UpdatePolicy) (Decision, error) {
 	policy = policy.withDefaults()
 	var d Decision
 	if m.model == nil {
@@ -95,7 +96,7 @@ func (m *Modeler) Perturb(newSamples []Sample, policy UpdatePolicy) (Decision, e
 		d.NeedsMoreData = true
 		return d, nil
 	}
-	if err := m.Update(); err != nil {
+	if err := m.Update(ctx); err != nil {
 		return d, err
 	}
 	d.Updated = true

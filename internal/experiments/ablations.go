@@ -51,7 +51,7 @@ func AblationInteractions(w *Workspace) (AblationResult, error) {
 
 	with := core.NewModeler(train)
 	with.Search = cfg.searchParams(0xAB1)
-	if err := with.Train(); err != nil {
+	if err := with.Train(w.ctx); err != nil {
 		return AblationResult{}, err
 	}
 	wm, err := with.EvaluateOn(valid)
@@ -85,7 +85,7 @@ func AblationSharding(w *Workspace) (AblationResult, error) {
 
 	with := core.NewModeler(train)
 	with.Search = cfg.searchParams(0xAB2)
-	if err := with.Train(); err != nil {
+	if err := with.Train(w.ctx); err != nil {
 		return AblationResult{}, err
 	}
 	wm, err := with.EvaluateOn(valid)
@@ -124,7 +124,7 @@ func AblationSharding(w *Workspace) (AblationResult, error) {
 
 	without := core.NewModeler(mono)
 	without.Search = cfg.searchParams(0xAB2)
-	if err := without.Train(); err != nil {
+	if err := without.Train(w.ctx); err != nil {
 		return AblationResult{}, err
 	}
 	wo, err := without.EvaluateOn(monoValid)
@@ -145,7 +145,7 @@ func AblationStepwise(w *Workspace) (AblationResult, error) {
 
 	with := core.NewModeler(train)
 	with.Search = cfg.searchParams(0xAB3)
-	if err := with.Train(); err != nil {
+	if err := with.Train(w.ctx); err != nil {
 		return AblationResult{}, err
 	}
 	wm, err := with.EvaluateOn(valid)
@@ -160,7 +160,10 @@ func AblationStepwise(w *Workspace) (AblationResult, error) {
 	// Stepwise with the same fitness and budget, then a final full fit.
 	ds := core.ToDataset(train)
 	eval := stepwiseEvaluator(ds)
-	sres := genetic.Stepwise(core.NumVars, eval, budget)
+	sres, err := genetic.Stepwise(w.ctx, core.NumVars, eval, budget)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	final, err := regress.FitSpec(sres.Best.Spec, nil, ds, regress.Options{LogResponse: true, Stabilize: true})
 	if err != nil {
 		return AblationResult{}, err
@@ -209,7 +212,7 @@ func AblationDomainSpecific(w *Workspace) (AblationResult, error) {
 	train := s.Sample(cfg.SpmvTrain, cfg.Seed^0xAB5)
 	valid := s.Sample(cfg.SpmvValidation, cfg.Seed^0xAB55)
 
-	with, err := spmv.TrainDomainModel(s.Spec.Name, train, spmv.PredictMFlops, spmv.TrainOptions{
+	with, err := spmv.TrainDomainModel(w.ctx, s.Spec.Name, train, spmv.PredictMFlops, spmv.TrainOptions{
 		Search: cfg.searchParams(0xAB5A),
 	})
 	if err != nil {
@@ -226,7 +229,7 @@ func AblationDomainSpecific(w *Workspace) (AblationResult, error) {
 		}
 		return out
 	}
-	without, err := spmv.TrainDomainModel(s.Spec.Name, strip(train), spmv.PredictMFlops, spmv.TrainOptions{
+	without, err := spmv.TrainDomainModel(w.ctx, s.Spec.Name, strip(train), spmv.PredictMFlops, spmv.TrainOptions{
 		Search: cfg.searchParams(0xAB5A),
 	})
 	if err != nil {
@@ -260,7 +263,7 @@ func ablateModeler(w *Workspace, name string, set func(*core.Modeler, bool)) (Ab
 		m := core.NewModeler(train)
 		m.Search = cfg.searchParams(0xABA)
 		set(m, on)
-		if err := m.Train(); err != nil {
+		if err := m.Train(w.ctx); err != nil {
 			return 0, err
 		}
 		met, err := m.EvaluateOn(valid)

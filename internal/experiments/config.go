@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -98,6 +99,7 @@ func (c Config) searchParams(seed uint64) genetic.Params {
 // collects and trains once.
 type Workspace struct {
 	Cfg   Config
+	ctx   context.Context
 	apps  []*trace.App
 	train []core.Sample
 	valid []core.Sample
@@ -106,8 +108,21 @@ type Workspace struct {
 
 // NewWorkspace prepares a lazy workspace over the seven SPEC2006 stand-ins.
 func NewWorkspace(cfg Config) *Workspace {
-	return &Workspace{Cfg: cfg, apps: trace.SPEC2006()}
+	return NewWorkspaceContext(context.Background(), cfg)
 }
+
+// NewWorkspaceContext is NewWorkspace with a cancellation context: every
+// training run the workspace performs is bounded by ctx, so an interrupted
+// `experiments all` stops within one search generation.
+func NewWorkspaceContext(ctx context.Context, cfg Config) *Workspace {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Workspace{Cfg: cfg, ctx: ctx, apps: trace.SPEC2006()}
+}
+
+// Context returns the workspace's cancellation context.
+func (w *Workspace) Context() context.Context { return w.ctx }
 
 // Apps returns the workload roster.
 func (w *Workspace) Apps() []*trace.App { return w.apps }
@@ -138,7 +153,7 @@ func (w *Workspace) Model() (*core.Modeler, error) {
 	if w.model == nil {
 		m := core.NewModeler(w.TrainingSamples())
 		m.Search = w.Cfg.searchParams(0x5EED)
-		if err := m.Train(); err != nil {
+		if err := m.Train(w.ctx); err != nil {
 			return nil, fmt.Errorf("experiments: steady-state training: %w", err)
 		}
 		w.model = m

@@ -42,7 +42,7 @@ func ParTime(w *Workspace, workers []int) ParTimeResult {
 		}
 		m.Search = p
 		start := time.Now()
-		if err := m.Train(); err != nil {
+		if err := m.Train(w.ctx); err != nil {
 			continue
 		}
 		res.Workers = append(res.Workers, n)
@@ -136,7 +136,7 @@ func Costs(w *Workspace) (CostsResult, error) {
 		p := cfg.searchParams(0xC057)
 		p.Generations = cfg.Generations / 2
 		m.Search = p
-		if err := m.Train(); err != nil {
+		if err := m.Train(w.ctx); err != nil {
 			continue
 		}
 		var worst float64

@@ -37,7 +37,7 @@ func Fig10(w *Workspace) (Fig10Result, error) {
 		}
 		m := core.NewModeler(rest)
 		m.Search = cfg.searchParams(uint64(0xF10 + n))
-		if err := m.Train(); err != nil {
+		if err := m.Train(w.ctx); err != nil {
 			return res, fmt.Errorf("fig10 %s: %w", app.Name, err)
 		}
 		// Validate against separately profiled shards of application n.
@@ -104,7 +104,7 @@ func Fig7b(w *Workspace) (Fig7bResult, error) {
 	// Work on a copy so the workspace's steady-state model stays pristine.
 	m := core.NewModeler(append([]core.Sample(nil), base.Samples...))
 	m.Search = cfg.searchParams(0xF7B)
-	if err := m.Train(); err != nil {
+	if err := m.Train(w.ctx); err != nil {
 		return Fig7bResult{}, err
 	}
 
@@ -120,7 +120,7 @@ func Fig7b(w *Workspace) (Fig7bResult, error) {
 	for i := range update {
 		update[i].AppID = 100 + update[i].AppID // new software identities
 	}
-	decision, err := m.Perturb(update, core.UpdatePolicy{ErrThreshold: 0.10, MinProfiles: 10})
+	decision, err := m.Perturb(w.ctx, update, core.UpdatePolicy{ErrThreshold: 0.10, MinProfiles: 10})
 	if err != nil {
 		return Fig7bResult{}, err
 	}
@@ -217,7 +217,7 @@ func Fig7c(w *Workspace) (Fig7cResult, error) {
 		}
 		m := core.NewModeler(rest)
 		m.Search = cfg.searchParams(uint64(0xF7C + n))
-		if err := m.Train(); err != nil {
+		if err := m.Train(w.ctx); err != nil {
 			return res, err
 		}
 		// Perturb with 10-20 profiles of the new application; the update
@@ -226,7 +226,7 @@ func Fig7c(w *Workspace) (Fig7cResult, error) {
 		for i := range newProfiles {
 			newProfiles[i].AppID = n
 		}
-		d, err := m.Perturb(newProfiles, core.UpdatePolicy{ErrThreshold: 0.10, MinProfiles: 10})
+		d, err := m.Perturb(w.ctx, newProfiles, core.UpdatePolicy{ErrThreshold: 0.10, MinProfiles: 10})
 		if err != nil {
 			return res, err
 		}

@@ -175,7 +175,7 @@ func Fig14(w *Workspace) (Fig14Result, error) {
 		s := spmv.NewStudy(spec.Scaled(cfg.SpmvScale))
 		train := s.Sample(cfg.SpmvTrain, cfg.Seed^uint64(0x140+spec.Index))
 		valid := s.Sample(cfg.SpmvValidation, cfg.Seed^uint64(0x1400+spec.Index))
-		models, err := spmv.TrainModels(spec.Name, train, spmv.TrainOptions{
+		models, err := spmv.TrainModels(w.ctx, spec.Name, train, spmv.TrainOptions{
 			Search: cfg.searchParams(uint64(0x14AA + spec.Index)),
 		})
 		if err != nil {
@@ -229,7 +229,7 @@ func Fig15(w *Workspace) (Fig15Result, error) {
 	base1 := s.Simulate(1, 1, base).MFlops()
 
 	train := s.Sample(cfg.SpmvTrain, cfg.Seed^0xF15)
-	models, err := spmv.TrainModels(s.Spec.Name, train, spmv.TrainOptions{
+	models, err := spmv.TrainModels(w.ctx, s.Spec.Name, train, spmv.TrainOptions{
 		Search: cfg.searchParams(0xF15A),
 	})
 	if err != nil {
@@ -310,7 +310,7 @@ func Fig16(w *Workspace) (Fig16Result, error) {
 	for _, spec := range spmv.Corpus() {
 		s := spmv.NewStudy(spec.Scaled(cfg.SpmvScale))
 		train := s.Sample(cfg.SpmvTrain/2, cfg.Seed^uint64(0x160+spec.Index))
-		models, err := spmv.TrainModels(spec.Name, train, spmv.TrainOptions{
+		models, err := spmv.TrainModels(w.ctx, spec.Name, train, spmv.TrainOptions{
 			Search: cfg.searchParams(uint64(0x16AA + spec.Index)),
 		})
 		if err != nil {

@@ -1,0 +1,164 @@
+package faultinject
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/regress"
+)
+
+func constEval(v float64) genetic.Evaluator {
+	return genetic.EvaluatorFunc(func(regress.Spec) float64 { return v })
+}
+
+func TestPanicScheduleDeterministic(t *testing.T) {
+	e := &Evaluator{Inner: constEval(1), PanicEvery: 3}
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		e.Fitness(regress.Spec{})
+		return false
+	}
+	var got []bool
+	for i := 0; i < 9; i++ {
+		got = append(got, panicked())
+	}
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("call %d: panicked=%v, want %v (schedule %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if e.Calls() != 9 || e.Panics() != 3 {
+		t.Errorf("calls=%d panics=%d, want 9 and 3", e.Calls(), e.Panics())
+	}
+}
+
+func TestMaxPanicsCapsInjection(t *testing.T) {
+	e := &Evaluator{Inner: constEval(2), PanicEvery: 1, MaxPanics: 2}
+	panics := 0
+	for i := 0; i < 10; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					panics++
+				}
+			}()
+			if f := e.Fitness(regress.Spec{}); f != 2 {
+				t.Errorf("pass-through fitness %v, want 2", f)
+			}
+		}()
+	}
+	if panics != 2 {
+		t.Errorf("%d panics, want exactly MaxPanics=2", panics)
+	}
+}
+
+func TestNaNAndInfSchedules(t *testing.T) {
+	e := &Evaluator{Inner: constEval(5), NaNEvery: 2, InfEvery: 3}
+	var vals []float64
+	for i := 0; i < 6; i++ {
+		vals = append(vals, e.Fitness(regress.Spec{}))
+	}
+	// Calls 2,4,6 → NaN; call 3 → +Inf (call 6 is NaN: NaN beats Inf).
+	if vals[0] != 5 || vals[4] != 5 {
+		t.Errorf("pass-through calls wrong: %v", vals)
+	}
+	if !math.IsNaN(vals[1]) || !math.IsNaN(vals[3]) || !math.IsNaN(vals[5]) {
+		t.Errorf("NaN schedule wrong: %v", vals)
+	}
+	if !math.IsInf(vals[2], 1) {
+		t.Errorf("Inf schedule wrong: %v", vals)
+	}
+}
+
+func TestZeroScheduleIsTransparent(t *testing.T) {
+	e := &Evaluator{Inner: constEval(7)}
+	for i := 0; i < 5; i++ {
+		if f := e.Fitness(regress.Spec{}); f != 7 {
+			t.Fatalf("fitness %v, want 7", f)
+		}
+	}
+}
+
+func TestPoisonRowsDeterministic(t *testing.T) {
+	mk := func() [][]float64 {
+		rows := make([][]float64, 10)
+		for i := range rows {
+			rows[i] = []float64{1, 2, 3, 4}
+		}
+		return rows
+	}
+	a, b := mk(), mk()
+	if n := PoisonRows(a, 3, 42); n != 3 {
+		t.Fatalf("poisoned %d rows, want 3", n)
+	}
+	PoisonRows(b, 3, 42)
+	for i := range a {
+		for j := range a[i] {
+			aNaN, bNaN := math.IsNaN(a[i][j]), math.IsNaN(b[i][j])
+			if aNaN != bNaN {
+				t.Fatalf("row %d col %d: same seed, different poison", i, j)
+			}
+			wantPoisonRow := (i+1)%3 == 0
+			if aNaN && !wantPoisonRow {
+				t.Fatalf("row %d poisoned off-schedule", i)
+			}
+		}
+	}
+	if PoisonRows(mk(), 0, 1) != 0 {
+		t.Error("every=0 must poison nothing")
+	}
+}
+
+func TestCorruptFileModes(t *testing.T) {
+	dir := t.TempDir()
+	orig := []byte(`{"version":2,"model":{"coef":[1,2,3]}}`)
+	mk := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	p := mk("trunc.json")
+	if err := CorruptFile(p, 1, Truncate); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(p)
+	if len(got) != len(orig)/2 || !bytes.HasPrefix(orig, got) {
+		t.Errorf("Truncate: %d bytes of %d", len(got), len(orig))
+	}
+
+	p = mk("flip.json")
+	if err := CorruptFile(p, 1, FlipByte); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(p)
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if len(got) != len(orig) || diff != 1 {
+		t.Errorf("FlipByte: %d bytes differ, want exactly 1", diff)
+	}
+
+	p = mk("garbage.json")
+	if err := CorruptFile(p, 1, Garbage); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(p)
+	if len(got) != len(orig) || bytes.Equal(got, orig) {
+		t.Error("Garbage: content should be replaced wholesale")
+	}
+
+	if err := CorruptFile(filepath.Join(dir, "missing"), 1, Truncate); err == nil {
+		t.Error("corrupting a missing file should error")
+	}
+}

@@ -22,14 +22,30 @@
 package genetic
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"hsmodel/internal/regress"
 	"hsmodel/internal/rng"
+)
+
+// Typed failures of a search. Both are returned wrapped, alongside a partial
+// Result, so callers can degrade gracefully (see core's degradation ladder).
+var (
+	// ErrEvalPanic reports that an Evaluator panicked during fitness
+	// evaluation. The panic is recovered inside the worker pool so a bad
+	// candidate model cannot kill the process.
+	ErrEvalPanic = errors.New("genetic: evaluator panicked")
+	// ErrCancelled reports that the search context was cancelled or its
+	// deadline expired before the configured generations completed.
+	ErrCancelled = errors.New("genetic: search cancelled")
 )
 
 // Evaluator scores a model specification. Fitness is an error measure:
@@ -56,6 +72,10 @@ type Params struct {
 	TournamentSize  int     // parent-selection tournament; default 3
 	Seed            uint64
 	Workers         int // parallel fitness evaluations; default GOMAXPROCS
+	// Deadline, if positive, bounds the whole search: the context passed to
+	// Search is wrapped with this timeout, and an expired search returns the
+	// best-so-far population plus an error wrapping ErrCancelled.
+	Deadline time.Duration
 	// Initial seeds the starting population (model updates warm-start from
 	// the previous population, Section 3.3). Remaining slots are random.
 	Initial []regress.Spec
@@ -123,8 +143,25 @@ func (r *Result) TopK(k int) []Individual {
 }
 
 // Search runs the genetic algorithm over specs with numVars variables.
-func Search(numVars int, eval Evaluator, p Params) *Result {
+//
+// Cancellation and failure are non-fatal: when ctx is cancelled (or
+// p.Deadline expires) the search stops within the current generation and
+// returns the best-so-far population as a partial Result plus an error
+// wrapping ErrCancelled; when an Evaluator panics the panic is recovered and
+// Search returns a partial Result plus an error wrapping ErrEvalPanic. The
+// returned Result is never nil, but after an error only individuals with
+// finite fitness have been scored — unevaluated candidates carry +Inf and
+// sort last.
+func Search(ctx context.Context, numVars int, eval Evaluator, p Params) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p = p.withDefaults()
+	if p.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Deadline)
+		defer cancel()
+	}
 	src := rng.New(p.Seed)
 	cache := newFitnessCache(eval, p.Workers)
 
@@ -142,9 +179,41 @@ func Search(numVars int, eval Evaluator, p Params) *Result {
 	}
 
 	res := &Result{}
+	// scored is the most recent fully evaluated, sorted population — what a
+	// cancelled search hands back when the current generation is unscored.
+	var scored []Individual
+	partial := func(g int, cause error) (*Result, error) {
+		if scored != nil {
+			pop = scored
+		} else {
+			// Nothing was ever scored: mark everything unevaluated so no
+			// zero-fitness chromosome masquerades as a best individual.
+			for i := range pop {
+				pop[i].Fitness = math.Inf(1)
+			}
+			sortPopulation(pop)
+		}
+		res.Population = pop
+		res.Best = pop[0]
+		res.Evals = cache.misses()
+		return res, fmt.Errorf("generation %d of %d: %w", g, p.Generations, cause)
+	}
+
 	for g := 0; g < p.Generations; g++ {
-		cache.scoreAll(pop)
+		if err := ctx.Err(); err != nil {
+			return partial(g, fmt.Errorf("%w: %v", ErrCancelled, err))
+		}
+		if err := cache.scoreAll(ctx, pop); err != nil {
+			// pop is partially scored: evaluated individuals (including
+			// cached elites) keep real fitness, the rest carry +Inf.
+			sanitizeFitness(pop)
+			sortPopulation(pop)
+			scored = pop
+			return partial(g, err)
+		}
+		sanitizeFitness(pop)
 		sortPopulation(pop)
+		scored = pop
 		var sum float64
 		for _, ind := range pop {
 			sum += ind.Fitness
@@ -165,7 +234,7 @@ func Search(numVars int, eval Evaluator, p Params) *Result {
 		}
 		next := make([]Individual, 0, p.PopulationSize)
 		for i := 0; i < elite; i++ {
-			next = append(next, Individual{Spec: pop[i].Spec.Clone()})
+			next = append(next, Individual{Spec: pop[i].Spec.Clone(), Fitness: pop[i].Fitness})
 		}
 		for len(next) < p.PopulationSize {
 			a := tournament(pop, src, p.TournamentSize)
@@ -179,7 +248,19 @@ func Search(numVars int, eval Evaluator, p Params) *Result {
 	res.Population = pop
 	res.Best = pop[0]
 	res.Evals = cache.misses()
-	return res
+	return res, nil
+}
+
+// sanitizeFitness maps NaN fitness to +Inf. NaN violates the ordering
+// contract of sortPopulation's comparator (NaN compares false against
+// everything, so sort.SliceStable would silently corrupt survivor
+// selection); +Inf keeps degenerate candidates strictly last.
+func sanitizeFitness(pop []Individual) {
+	for i := range pop {
+		if math.IsNaN(pop[i].Fitness) {
+			pop[i].Fitness = math.Inf(1)
+		}
+	}
 }
 
 // sortPopulation orders by fitness ascending with a deterministic tie-break
@@ -372,9 +453,30 @@ func (fc *fitnessCache) misses() int {
 	return fc.miss
 }
 
+// safeFitness evaluates one spec with panic isolation: a panicking Evaluator
+// yields +Inf fitness and an error wrapping ErrEvalPanic instead of killing
+// the process. NaN fitness (singular fits, corrupt profiles) is sanitized to
+// +Inf so downstream sorting keeps a strict weak order.
+func safeFitness(eval Evaluator, spec regress.Spec) (f float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			f = math.Inf(1)
+			err = fmt.Errorf("%w: %v", ErrEvalPanic, r)
+		}
+	}()
+	f = eval.Fitness(spec)
+	if math.IsNaN(f) {
+		f = math.Inf(1)
+	}
+	return f, nil
+}
+
 // scoreAll fills in Fitness for every individual, evaluating cache misses in
-// parallel.
-func (fc *fitnessCache) scoreAll(pop []Individual) {
+// parallel. On context cancellation or an evaluator panic it stops
+// dispatching, waits for in-flight evaluations, marks every unevaluated
+// individual +Inf, and returns the first error; already-evaluated
+// individuals (and cache hits, which include the elites) keep real fitness.
+func (fc *fitnessCache) scoreAll(ctx context.Context, pop []Individual) error {
 	type job struct {
 		idx int
 		key string
@@ -391,7 +493,10 @@ func (fc *fitnessCache) scoreAll(pop []Individual) {
 	}
 	fc.mu.Unlock()
 	if len(jobs) == 0 {
-		return
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %v", ErrCancelled, err)
+		}
+		return nil
 	}
 
 	// Deduplicate identical pending specs so each is evaluated once.
@@ -407,19 +512,54 @@ func (fc *fitnessCache) scoreAll(pop []Individual) {
 	sem := make(chan struct{}, fc.workers)
 	var wg sync.WaitGroup
 	results := make([]float64, len(order))
+	done := make([]bool, len(order)) // completed without panic
+	var failMu sync.Mutex
+	var failErr error
+	fail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
+		}
+		failMu.Unlock()
+	}
+	failed := func() bool {
+		failMu.Lock()
+		defer failMu.Unlock()
+		return failErr != nil
+	}
 	for k, key := range order {
+		if err := ctx.Err(); err != nil {
+			fail(fmt.Errorf("%w: %v", ErrCancelled, err))
+		}
+		if failed() {
+			break // stop dispatching; in-flight workers drain below
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(k int, spec regress.Spec) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[k] = fc.eval.Fitness(spec)
+			f, err := safeFitness(fc.eval, spec)
+			if err != nil {
+				fail(err)
+				return
+			}
+			results[k] = f
+			done[k] = true
 		}(k, pop[pending[key][0]].Spec)
 	}
 	wg.Wait()
 
 	fc.mu.Lock()
 	for k, key := range order {
+		if !done[k] {
+			// Unevaluated (or panicked): rank strictly last, and do not
+			// cache — the fault may be transient.
+			for _, idx := range pending[key] {
+				pop[idx].Fitness = math.Inf(1)
+			}
+			continue
+		}
 		fc.known[key] = results[k]
 		fc.miss++
 		for _, idx := range pending[key] {
@@ -427,4 +567,7 @@ func (fc *fitnessCache) scoreAll(pop []Individual) {
 		}
 	}
 	fc.mu.Unlock()
+	failMu.Lock()
+	defer failMu.Unlock()
+	return failErr
 }

@@ -1,6 +1,7 @@
 package genetic
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -9,6 +10,17 @@ import (
 	"hsmodel/internal/regress"
 	"hsmodel/internal/rng"
 )
+
+// search runs Search with a background context and fails the test on error —
+// the common case for tests exercising healthy evaluators.
+func search(t *testing.T, numVars int, eval Evaluator, p Params) *Result {
+	t.Helper()
+	res, err := Search(context.Background(), numVars, eval, p)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	return res
+}
 
 // quadraticTarget builds an evaluator whose optimum is a known spec: it
 // rewards including variables 0 and 1 with a quadratic-or-better transform
@@ -36,7 +48,7 @@ func quadraticTarget() Evaluator {
 }
 
 func TestSearchConvergesToKnownOptimum(t *testing.T) {
-	res := Search(6, quadraticTarget(), Params{
+	res := search(t, 6, quadraticTarget(), Params{
 		PopulationSize: 40, Generations: 25, Seed: 7,
 	})
 	best := res.Best
@@ -61,8 +73,8 @@ func TestSearchConvergesToKnownOptimum(t *testing.T) {
 }
 
 func TestSearchDeterministicGivenSeed(t *testing.T) {
-	a := Search(5, quadraticTarget(), Params{PopulationSize: 20, Generations: 8, Seed: 3, Workers: 4})
-	b := Search(5, quadraticTarget(), Params{PopulationSize: 20, Generations: 8, Seed: 3, Workers: 1})
+	a := search(t, 5, quadraticTarget(), Params{PopulationSize: 20, Generations: 8, Seed: 3, Workers: 4})
+	b := search(t, 5, quadraticTarget(), Params{PopulationSize: 20, Generations: 8, Seed: 3, Workers: 1})
 	if a.Best.Fitness != b.Best.Fitness {
 		t.Errorf("same-seed searches differ: %v vs %v", a.Best.Fitness, b.Best.Fitness)
 	}
@@ -73,7 +85,7 @@ func TestSearchDeterministicGivenSeed(t *testing.T) {
 
 func TestBestFitnessMonotone(t *testing.T) {
 	// With elitism, per-generation best fitness never worsens.
-	res := Search(8, quadraticTarget(), Params{PopulationSize: 30, Generations: 15, Seed: 11})
+	res := search(t, 8, quadraticTarget(), Params{PopulationSize: 30, Generations: 15, Seed: 11})
 	prev := math.Inf(1)
 	for _, gs := range res.History {
 		if gs.Best > prev+1e-12 {
@@ -92,7 +104,7 @@ func TestFitnessCacheAvoidsRecomputation(t *testing.T) {
 		atomic.AddInt64(&calls, 1)
 		return 1
 	})
-	res := Search(4, eval, Params{PopulationSize: 25, Generations: 10, Seed: 5})
+	res := search(t, 4, eval, Params{PopulationSize: 25, Generations: 10, Seed: 5})
 	// With constant fitness and elitism, identical specs recur constantly;
 	// the cache must keep evaluations well below pop*generations.
 	if int(calls) != res.Evals {
@@ -154,7 +166,7 @@ func TestInitialPopulationSeedsSearch(t *testing.T) {
 	opt.Codes[1] = regress.Linear
 	opt.Interactions = []regress.Interaction{{I: 0, J: 1}}
 	var gen0Best float64
-	Search(6, quadraticTarget(), Params{
+	search(t, 6, quadraticTarget(), Params{
 		PopulationSize: 20, Generations: 2, Seed: 9,
 		Initial: []regress.Spec{opt},
 		OnGeneration: func(gs GenStats) {
@@ -204,7 +216,10 @@ func TestTransformConsensus(t *testing.T) {
 }
 
 func TestStepwiseImproves(t *testing.T) {
-	res := Stepwise(6, quadraticTarget(), 500)
+	res, err := Stepwise(context.Background(), 6, quadraticTarget(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Best.Fitness >= 3 {
 		t.Errorf("stepwise made no progress: %v", res.Best.Fitness)
 	}
@@ -217,7 +232,7 @@ func TestStepwiseImproves(t *testing.T) {
 }
 
 func TestTopK(t *testing.T) {
-	res := Search(4, quadraticTarget(), Params{PopulationSize: 10, Generations: 3, Seed: 1})
+	res := search(t, 4, quadraticTarget(), Params{PopulationSize: 10, Generations: 3, Seed: 1})
 	top := res.TopK(3)
 	if len(top) != 3 {
 		t.Fatalf("TopK(3) returned %d", len(top))

@@ -1,6 +1,12 @@
 package genetic
 
-import "hsmodel/internal/regress"
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"hsmodel/internal/regress"
+)
 
 // Stepwise is the baseline the paper argues against: forward stepwise model
 // construction that considers one term at a time ("Unlike stepwise
@@ -12,23 +18,47 @@ import "hsmodel/internal/regress"
 //
 // It shares the Evaluator contract with Search so the two are directly
 // comparable at equal evaluation budgets (the ablation bench does exactly
-// that).
-func Stepwise(numVars int, eval Evaluator, maxEvals int) *Result {
+// that), and the same failure contract: cancellation returns the best-so-far
+// Result plus an error wrapping ErrCancelled, and a panicking Evaluator
+// yields an error wrapping ErrEvalPanic instead of process death. The
+// returned Result is never nil.
+func Stepwise(ctx context.Context, numVars int, eval Evaluator, maxEvals int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	spec := regress.Spec{Codes: make([]regress.TransformCode, numVars)}
 	res := &Result{}
 	evals := 0
 
-	score := func(s regress.Spec) float64 {
+	best := Individual{Fitness: math.Inf(1)}
+	finish := func(cause error) (*Result, error) {
+		res.Best = best
+		res.Population = []Individual{best}
+		res.Evals = evals
+		if cause != nil {
+			cause = fmt.Errorf("stepwise after %d evals: %w", evals, cause)
+		}
+		return res, cause
+	}
+	// score evaluates one candidate with panic isolation; a non-nil error
+	// aborts the search with the partial best.
+	score := func(s regress.Spec) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return math.Inf(1), fmt.Errorf("%w: %v", ErrCancelled, err)
+		}
 		evals++
-		return eval.Fitness(s)
+		return safeFitness(eval, s)
 	}
 
 	// Start from the best single linear term.
-	best := Individual{Fitness: inf()}
 	for v := 0; v < numVars && evals < maxEvals; v++ {
 		s := spec.Clone()
 		s.Codes[v] = regress.Linear
-		if f := score(s); f < best.Fitness {
+		f, err := score(s)
+		if err != nil {
+			return finish(err)
+		}
+		if f < best.Fitness {
 			best = Individual{Spec: s, Fitness: f}
 		}
 	}
@@ -45,7 +75,11 @@ func Stepwise(numVars int, eval Evaluator, maxEvals int) *Result {
 				}
 				s := cur.Spec.Clone()
 				s.Codes[v] = c
-				if f := score(s); f < best.Fitness {
+				f, err := score(s)
+				if err != nil {
+					return finish(err)
+				}
+				if f < best.Fitness {
 					best = Individual{Spec: s, Fitness: f}
 					improved = true
 				}
@@ -67,7 +101,11 @@ func Stepwise(numVars int, eval Evaluator, maxEvals int) *Result {
 				if !addInteraction(&s, regress.Interaction{I: i, J: j}, 1<<30) {
 					continue
 				}
-				if f := score(s); f < best.Fitness {
+				f, err := score(s)
+				if err != nil {
+					return finish(err)
+				}
+				if f < best.Fitness {
 					best = Individual{Spec: s, Fitness: f}
 					improved = true
 				}
@@ -82,10 +120,5 @@ func Stepwise(numVars int, eval Evaluator, maxEvals int) *Result {
 		}
 	}
 
-	res.Best = best
-	res.Population = []Individual{best}
-	res.Evals = evals
-	return res
+	return finish(nil)
 }
-
-func inf() float64 { return 1e308 }

@@ -47,13 +47,55 @@ type Model struct {
 // columns.
 var ErrTooFewRows = errors.New("regress: fewer observations than design columns")
 
+// ErrBadInput marks fits rejected because the data itself is unusable:
+// NaN/Inf profile rows, non-positive responses under LogResponse, or
+// mismatched weight vectors. Callers degrade or skip, they do not retry.
+var ErrBadInput = errors.New("regress: bad input")
+
+// ErrSingular marks fits whose design matrix has no usable solution even
+// after column pivoting (e.g. all-constant profiles).
+var ErrSingular = errors.New("regress: singular fit")
+
+// checkFinite rejects NaN/Inf observations before they reach the
+// factorization, where they would otherwise poison every coefficient or
+// panic deep inside linalg.
+func checkFinite(ds *Dataset) error {
+	for i := 0; i < ds.X.Rows; i++ {
+		for _, v := range ds.X.Row(i) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: non-finite value %g in row %d", ErrBadInput, v, i)
+			}
+		}
+	}
+	for i, v := range ds.Y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite response %g in row %d", ErrBadInput, v, i)
+		}
+	}
+	return nil
+}
+
 // FitSpec fits spec to ds. If prep is nil, preprocessing is learned from ds
 // itself.
-func FitSpec(spec Spec, prep *Prep, ds *Dataset, opts Options) (*Model, error) {
+//
+// FitSpec is a panic boundary: a panic anywhere below it (dimension
+// mismatches in linalg, degenerate splines) is recovered and reported as an
+// error wrapping ErrBadInput, so a single corrupt profile cannot kill a
+// long-running modeling service.
+func FitSpec(spec Spec, prep *Prep, ds *Dataset, opts Options) (m *Model, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m = nil
+			err = fmt.Errorf("%w: panic during fit: %v", ErrBadInput, r)
+		}
+	}()
 	if err := ds.Check(); err != nil {
 		return nil, err
 	}
 	if err := spec.Validate(ds.NumVars()); err != nil {
+		return nil, err
+	}
+	if err := checkFinite(ds); err != nil {
 		return nil, err
 	}
 	if prep == nil {
@@ -67,7 +109,7 @@ func FitSpec(spec Spec, prep *Prep, ds *Dataset, opts Options) (*Model, error) {
 	for i, v := range ds.Y {
 		if opts.LogResponse {
 			if v <= 0 {
-				return nil, fmt.Errorf("regress: non-positive response %g with LogResponse", v)
+				return nil, fmt.Errorf("%w: non-positive response %g with LogResponse", ErrBadInput, v)
 			}
 			y[i] = math.Log(v)
 		} else {
@@ -76,7 +118,7 @@ func FitSpec(spec Spec, prep *Prep, ds *Dataset, opts Options) (*Model, error) {
 	}
 	if opts.Weights != nil {
 		if len(opts.Weights) != design.Rows {
-			return nil, fmt.Errorf("regress: %d weights for %d rows", len(opts.Weights), design.Rows)
+			return nil, fmt.Errorf("%w: %d weights for %d rows", ErrBadInput, len(opts.Weights), design.Rows)
 		}
 		for i := 0; i < design.Rows; i++ {
 			w := math.Sqrt(opts.Weights[i])
@@ -90,6 +132,9 @@ func FitSpec(spec Spec, prep *Prep, ds *Dataset, opts Options) (*Model, error) {
 	f := linalg.Factor(design, 0)
 	coef, err := f.Solve(y)
 	if err != nil {
+		if errors.Is(err, linalg.ErrRankDeficient) {
+			return nil, fmt.Errorf("%w: %v", ErrSingular, err)
+		}
 		return nil, err
 	}
 	yLo, yHi := ds.Y[0], ds.Y[0]

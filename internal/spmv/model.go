@@ -1,6 +1,7 @@
 package spmv
 
 import (
+	"context"
 	"fmt"
 
 	"hsmodel/internal/genetic"
@@ -109,8 +110,8 @@ func (o TrainOptions) withDefaults() TrainOptions {
 }
 
 // TrainDomainModel fits a model for one response from sampled points via
-// genetic specification search.
-func TrainDomainModel(matrix string, points []Point, resp Response, opts TrainOptions) (*DomainModel, error) {
+// genetic specification search. Cancelling ctx aborts the search.
+func TrainDomainModel(ctx context.Context, matrix string, points []Point, resp Response, opts TrainOptions) (*DomainModel, error) {
 	opts = opts.withDefaults()
 	ds := BuildDomainDataset(points, resp)
 	prep := regress.Prepare(ds, true)
@@ -140,7 +141,10 @@ func TrainDomainModel(matrix string, points []Point, resp Response, opts TrainOp
 		}
 		return m.Evaluate(valDS).MedAPE
 	})
-	res := genetic.Search(NumDomainVars, eval, opts.Search)
+	res, err := genetic.Search(ctx, NumDomainVars, eval, opts.Search)
+	if err != nil {
+		return nil, fmt.Errorf("spmv: search for %s %s: %w", matrix, resp, err)
+	}
 
 	final, err := regress.FitSpec(res.Best.Spec, prep, ds, regress.Options{LogResponse: true})
 	if err != nil {
@@ -162,12 +166,12 @@ type Models struct {
 }
 
 // TrainModels trains both responses from one sampled point set.
-func TrainModels(matrix string, points []Point, opts TrainOptions) (Models, error) {
-	perf, err := TrainDomainModel(matrix, points, PredictMFlops, opts)
+func TrainModels(ctx context.Context, matrix string, points []Point, opts TrainOptions) (Models, error) {
+	perf, err := TrainDomainModel(ctx, matrix, points, PredictMFlops, opts)
 	if err != nil {
 		return Models{}, err
 	}
-	pow, err := TrainDomainModel(matrix, points, PredictWatts, opts)
+	pow, err := TrainDomainModel(ctx, matrix, points, PredictWatts, opts)
 	if err != nil {
 		return Models{}, err
 	}

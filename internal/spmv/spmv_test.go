@@ -1,6 +1,7 @@
 package spmv
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -299,7 +300,7 @@ func TestDomainModelAccuracy(t *testing.T) {
 	s := NewStudy(spec.Scaled(32))
 	train := s.Sample(300, 7)
 	valid := s.Sample(80, 1007)
-	models, err := TrainModels("venkat01", train, TrainOptions{
+	models, err := TrainModels(context.Background(), "venkat01", train, TrainOptions{
 		Search: genetic.Params{PopulationSize: 20, Generations: 8, Seed: 5},
 	})
 	if err != nil {

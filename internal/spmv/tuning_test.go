@@ -1,6 +1,7 @@
 package spmv
 
 import (
+	"context"
 	"testing"
 
 	"hsmodel/internal/cache"
@@ -13,7 +14,7 @@ func TestModelGuidedTuningAgreesWithExhaustive(t *testing.T) {
 	// the simulations.
 	spec, _ := ByName("olafu")
 	s := NewStudy(spec.Scaled(64))
-	models, err := TrainModels(spec.Name, s.Sample(250, 3), TrainOptions{
+	models, err := TrainModels(context.Background(), spec.Name, s.Sample(250, 3), TrainOptions{
 		Search: genetic.Params{PopulationSize: 20, Generations: 8, Seed: 2},
 	})
 	if err != nil {
