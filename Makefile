@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race ci
+.PHONY: build vet test race bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench-smoke runs every benchmark exactly once: it proves the full
+# experiment suite (all figures and ablations) still executes end to end
+# without paying for statistically meaningful timings.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x ./...
+
 # ci is the gate: compile, static analysis, plain tests, then the race
-# detector over the whole tree (the parallel fitness pool and the
-# fault-injection schedules are the usual suspects).
+# detector over the whole tree (the parallel fitness pool, the lock-free
+# snapshot swaps, and the fault-injection schedules are the usual suspects).
 ci: build vet test race

@@ -341,6 +341,52 @@ func BenchmarkRegressionFit(b *testing.B) {
 	}
 }
 
+// BenchmarkFeaturizerCache measures the tentpole speedup of the featurize
+// layer: assembling design matrices for a stream of varied specifications
+// from cached basis columns versus rebuilding the transform pipeline per
+// spec (what every genetic fitness evaluation used to pay). The specs are
+// generated deterministically and identically in both sub-benchmarks.
+func BenchmarkFeaturizerCache(b *testing.B) {
+	w := workspace()
+	ds := core.ToDataset(w.TrainingSamples())
+	specs := make([]regress.Spec, 32)
+	src := rng.New(7)
+	codes := []regress.TransformCode{
+		regress.Excluded, regress.Linear, regress.Quadratic, regress.Cubic, regress.Spline3,
+	}
+	for s := range specs {
+		specs[s].Codes = make([]regress.TransformCode, core.NumVars)
+		for v := range specs[s].Codes {
+			specs[s].Codes[v] = codes[int(src.Uint64()%uint64(len(codes)))]
+		}
+		i := int(src.Uint64() % core.NumVars)
+		j := int(src.Uint64() % core.NumVars)
+		if i != j {
+			specs[s].Interactions = []regress.Interaction{{I: min(i, j), J: max(i, j)}}
+		}
+	}
+
+	b.Run("rebuild", func(b *testing.B) {
+		prep := regress.Prepare(ds, true)
+		for i := 0; i < b.N; i++ {
+			design, _ := prep.Design(specs[i%len(specs)], ds)
+			_ = design
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		fz, err := regress.NewFeaturizer(ds, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fz.Design(specs[i%len(specs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkModelPredict(b *testing.B) {
 	w := workspace()
 	m, err := w.Model()

@@ -92,7 +92,8 @@ func cmdTrain(ctx context.Context, args []string) error {
 	apps := trace.SPEC2006()
 	col := &core.Collector{ShardLen: *shardLen}
 	fmt.Fprintf(os.Stderr, "collecting %d samples/app across %d applications...\n", *samples, len(apps))
-	m := core.NewModeler(col.Collect(apps, *samples, *seed))
+	m := core.NewTrainer(col.Collect(apps, *samples, *seed))
+	m.ShardLen = *shardLen
 	m.Search = genetic.Params{PopulationSize: *pop, Generations: *gens, Seed: *seed}
 	fmt.Fprintln(os.Stderr, "training...")
 	// Degradation ladder: genetic search, then stepwise, then the last-good
@@ -129,10 +130,11 @@ func cmdPredict(args []string) error {
 	check := fs.Bool("check", true, "also simulate the pair and report error")
 	fs.Parse(args)
 
-	loaded, shardLen, err := core.Load(*modelPath)
+	snap, err := core.LoadSnapshot(*modelPath)
 	if err != nil {
 		return err
 	}
+	shardLen := snap.ShardLen()
 
 	app, err := trace.ByName(*appName)
 	if err != nil {
@@ -156,7 +158,7 @@ func cmdPredict(args []string) error {
 	}
 
 	p := profile.Stream(app.ShardStream(*shard, shardLen), app.Name, *shard)
-	pred, err := loaded.PredictShard(p.X, hw)
+	pred, err := snap.PredictShard(p.X, hw)
 	if err != nil {
 		return err
 	}

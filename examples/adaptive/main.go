@@ -48,7 +48,7 @@ func main() {
 	}
 	col := &core.Collector{ShardLen: 50_000, ShardPool: 40}
 	fmt.Println("bootstrapping model without gemsFDTD...")
-	m := core.NewModeler(col.Collect(boot, 90, 5))
+	m := core.NewTrainer(col.Collect(boot, 90, 5))
 	m.Search = genetic.Params{PopulationSize: 28, Generations: 8, Seed: 21}
 	if err := m.Train(ctx); err != nil {
 		log.Fatal(err)

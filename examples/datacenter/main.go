@@ -47,7 +47,7 @@ func main() {
 	apps := trace.SPEC2006()
 	col := &core.Collector{ShardLen: 50_000, ShardPool: 40}
 	fmt.Println("bootstrapping model from historical profiles...")
-	m := core.NewModeler(col.Collect(apps, 100, 11))
+	m := core.NewTrainer(col.Collect(apps, 100, 11))
 	m.Search = genetic.Params{PopulationSize: 30, Generations: 8, Seed: 3}
 	if err := m.Train(ctx); err != nil {
 		log.Fatal(err)

@@ -31,7 +31,7 @@ func main() {
 
 	// 3. Automated modeling: the genetic search chooses variables,
 	//    transformations, and interactions.
-	modeler := core.NewModeler(samples)
+	modeler := core.NewTrainer(samples)
 	modeler.Search = genetic.Params{PopulationSize: 30, Generations: 8, Seed: 7}
 	fmt.Println("training (genetic search over model specifications)...")
 	if err := modeler.Train(ctx); err != nil {

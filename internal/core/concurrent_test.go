@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hsmodel/internal/faultinject"
+	"hsmodel/internal/genetic"
+)
+
+// TestServeWhileTrain hammers lock-free predictions from many goroutines
+// while the trainer repeatedly re-specifies the model through the resilience
+// ladder. Run under -race (make race / make ci), this is the acceptance test
+// for the snapshot architecture: every read must observe a fully fitted
+// model — either the previous snapshot or the new one, never a torn state —
+// and no prediction may fail while retraining is in flight.
+func TestServeWhileTrain(t *testing.T) {
+	m, valid := trainSmallModeler(t)
+	first := m.Snapshot()
+	if first == nil {
+		t.Fatal("no snapshot after initial train")
+	}
+
+	const readers = 8
+	var (
+		stop  atomic.Bool
+		reads atomic.Int64
+		wg    sync.WaitGroup
+	)
+	errs := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				s := valid[(g+i)%len(valid)]
+				snap := m.Snapshot()
+				if snap == nil || snap.Model() == nil {
+					errs <- ErrNotTrained
+					return
+				}
+				p, err := snap.PredictShard(s.X, s.HW)
+				if err != nil || p <= 0 {
+					errs <- err
+					return
+				}
+				// The trainer-level path must be equally safe.
+				if _, err := m.PredictShard(s.X, s.HW); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := m.EvaluateOn(valid[:3]); err != nil {
+					errs <- err
+					return
+				}
+				reads.Add(1)
+			}
+		}(g)
+	}
+
+	// Retrain concurrently with the readers: twice healthy (new snapshots
+	// published mid-read), once with an evaluator that defeats both search
+	// rungs (the prior snapshot must keep serving).
+	for round := 0; round < 2; round++ {
+		m.Search = genetic.Params{PopulationSize: 12, Generations: 3, Seed: uint64(100 + round)}
+		if rep, err := m.TrainResilient(context.Background(), Resilience{}); err != nil {
+			t.Fatalf("round %d: %v (report %v)", round, err, rep)
+		}
+	}
+	served := m.Snapshot()
+	inj := &faultinject.Evaluator{PanicEvery: 1}
+	m.WrapEvaluator = func(inner genetic.Evaluator) genetic.Evaluator {
+		inj.Inner = inner
+		return inj
+	}
+	rep, err := m.TrainResilient(context.Background(), Resilience{StepwiseBudget: 30})
+	if err != nil {
+		t.Fatalf("failing ladder returned error despite last-good: %v", err)
+	}
+	if rep.Rung != RungLastGood {
+		t.Errorf("rung = %v, want last-good (report %v)", rep.Rung, rep)
+	}
+	if m.Snapshot() != served {
+		t.Error("failed ladder replaced the served snapshot")
+	}
+
+	// On a single-CPU machine the retrains can finish before any reader has
+	// been scheduled through a full iteration; keep serving until every
+	// reader has made progress (bounded, in case one exited on error).
+	deadline := time.Now().Add(10 * time.Second)
+	for reads.Load() < readers && len(errs) == 0 && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent reader failed: %v", err)
+	}
+	if reads.Load() == 0 {
+		t.Error("readers made no progress")
+	}
+	if m.Snapshot() == first {
+		t.Error("healthy retrains never published a new snapshot")
+	}
+}

@@ -105,13 +105,13 @@ func TestProfileCacheSharedAcrossArchitectures(t *testing.T) {
 	}
 }
 
-func trainSmallModeler(t *testing.T) (*Modeler, []Sample) {
+func trainSmallModeler(t *testing.T) (*Trainer, []Sample) {
 	t.Helper()
 	apps := smallApps()
 	col := smallCollector()
 	train := col.Collect(apps, 40, 1)
 	valid := col.Collect(apps, 10, 2)
-	m := NewModeler(train)
+	m := NewTrainer(train)
 	m.Search = genetic.Params{PopulationSize: 16, Generations: 5, Seed: 42}
 	if err := m.Train(context.Background()); err != nil {
 		t.Fatal(err)
@@ -164,8 +164,8 @@ func TestPredictShardAndApplication(t *testing.T) {
 	}
 }
 
-func TestUntrainedModelerErrors(t *testing.T) {
-	m := NewModeler(nil)
+func TestUntrainedTrainerErrors(t *testing.T) {
+	m := NewTrainer(nil)
 	if err := m.Train(context.Background()); err == nil {
 		t.Error("training on no samples should fail")
 	}
@@ -192,8 +192,8 @@ func TestPerturbAccurateRetainsModel(t *testing.T) {
 	if d.Updated || d.NeedsMoreData {
 		t.Errorf("familiar software should not trigger update: %v", d)
 	}
-	if len(m.Samples) != 120+24 {
-		t.Errorf("samples not absorbed: %d", len(m.Samples))
+	if m.NumSamples() != 120+24 {
+		t.Errorf("samples not absorbed: %d", m.NumSamples())
 	}
 }
 
@@ -257,7 +257,7 @@ func TestUpdateWarmStartsFromPopulation(t *testing.T) {
 }
 
 func TestSumOfMedianErrors(t *testing.T) {
-	m := NewModeler([]Sample{{AppID: 0}, {AppID: 1}, {AppID: 1}, {AppID: 2}})
+	m := NewTrainer([]Sample{{AppID: 0}, {AppID: 1}, {AppID: 1}, {AppID: 2}})
 	if got := m.SumOfMedianErrors(0.05); got < 0.1499 || got > 0.1501 {
 		t.Errorf("SumOfMedianErrors = %v, want 0.15", got)
 	}
@@ -268,7 +268,10 @@ func TestFitnessSplitsExcludeValidation(t *testing.T) {
 	// models never train on them.
 	samples := smallCollector().Collect(smallApps(), 20, 12)
 	ds := ToDataset(samples)
-	ev := newEvaluator(ds, FitnessConfig{}, true, true)
+	ev, err := newEvaluator(ds, FitnessConfig{}, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	zeroed := 0
 	for _, w := range ev.weights {
 		if w == 0 {
@@ -290,5 +293,57 @@ func TestFitnessSplitsExcludeValidation(t *testing.T) {
 	f := ev.Fitness(spec)
 	if f <= 0 || f > 10 {
 		t.Errorf("fitness %v implausible", f)
+	}
+}
+
+// TestAddSamplesInvalidatesEvaluator: profiles appended after a training run
+// must influence the next one — the cached featurized evaluator is keyed on
+// the sample-store version and rebuilt over the full store, never served
+// stale.
+func TestAddSamplesInvalidatesEvaluator(t *testing.T) {
+	m, _ := trainSmallModeler(t)
+	firstRows := m.Snapshot().TrainedRows()
+	if firstRows != 120 {
+		t.Fatalf("trained on %d rows, want 120", firstRows)
+	}
+	before := m.Model()
+
+	// A genuinely new FP-heavy application shifts the fit if it is seen.
+	added := smallCollector().Collect([]*trace.App{trace.Bwaves()}, 20, 404)
+	for i := range added {
+		added[i].AppID = 3
+	}
+	m.AddSamples(added)
+	if err := m.Update(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := m.Snapshot()
+	if snap.TrainedRows() != firstRows+len(added) {
+		t.Errorf("refit saw %d rows, want %d — appended samples ignored",
+			snap.TrainedRows(), firstRows+len(added))
+	}
+	after := m.Model()
+	if after == before {
+		t.Fatal("model not refit after AddSamples")
+	}
+	changed := len(after.Coef) != len(before.Coef)
+	for j := 0; !changed && j < len(after.Coef); j++ {
+		changed = after.Coef[j] != before.Coef[j]
+	}
+	if !changed {
+		t.Error("appended samples had no influence on the fitted coefficients")
+	}
+}
+
+// TestSamplesReturnsCopy: mutating the slice returned by Samples must not
+// reach the trainer's store (all mutation goes through AddSamples or
+// SetSamples, which version the cached evaluator state).
+func TestSamplesReturnsCopy(t *testing.T) {
+	m := NewTrainer([]Sample{{App: "a", CPI: 1}, {App: "b", CPI: 2}})
+	got := m.Samples()
+	got[0].CPI = 99
+	if m.Samples()[0].CPI != 1 {
+		t.Error("Samples exposed the internal store")
 	}
 }

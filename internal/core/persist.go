@@ -12,15 +12,23 @@ import (
 	"hsmodel/internal/regress"
 )
 
-// SavedModel is the serializable form of a trained integrated model: the
-// fitted regression (specification, preprocessing, coefficients — all
+// SavedModel is the serializable form of a model Snapshot: the fitted
+// regression (specification, preprocessing, coefficients — all
 // self-contained) plus the shard length its profiles were measured at, so a
-// loaded model profiles new shards consistently.
+// loaded model profiles new shards consistently, and provenance metadata
+// (which ladder rung produced it, how many rows it was fitted on).
 type SavedModel struct {
 	// Version guards the on-disk format.
 	Version int `json:"version"`
 	// ShardLen is the profiling shard length in instructions.
 	ShardLen int `json:"shard_len"`
+	// Rung names the degradation-ladder rung that produced the model
+	// ("genetic", "stepwise", "last-good"). Absent in version-2 files;
+	// unknown names load as RungNone.
+	Rung string `json:"rung,omitempty"`
+	// TrainedRows is the number of profile rows the model was fitted on.
+	// Absent in version-2 files.
+	TrainedRows int `json:"trained_rows,omitempty"`
 	// Checksum is the hex SHA-256 of the model's canonical JSON encoding.
 	// Load recomputes it so torn or bit-rotted files are detected instead of
 	// half-loaded. Model JSON is deterministic: the struct has a fixed field
@@ -31,8 +39,13 @@ type SavedModel struct {
 }
 
 // savedModelVersion is the current format version. Version 2 added the
-// payload checksum; version-1 files are rejected with ErrModelVersion.
-const savedModelVersion = 2
+// payload checksum; version 3 added rung and trained_rows provenance.
+// Version-2 files still load (the metadata defaults to zero); version-1
+// files are rejected with ErrModelVersion.
+const savedModelVersion = 3
+
+// minLoadableVersion is the oldest format LoadSnapshot accepts.
+const minLoadableVersion = 2
 
 // Typed persistence errors, distinguishable with errors.Is. They are the
 // contract the degradation ladder and operators rely on: each names a
@@ -40,7 +53,7 @@ const savedModelVersion = 2
 var (
 	// ErrModelCorrupt: the file is not valid JSON (torn write, garbage).
 	ErrModelCorrupt = errors.New("core: model file is not valid JSON")
-	// ErrModelVersion: the format version is not the current one.
+	// ErrModelVersion: the format version is not a loadable one.
 	ErrModelVersion = errors.New("core: model file version mismatch")
 	// ErrModelIncomplete: structurally valid JSON missing required parts.
 	ErrModelIncomplete = errors.New("core: saved model is incomplete")
@@ -60,26 +73,25 @@ func modelChecksum(m *regress.Model) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// Save serializes the trained model to path as indented JSON. The write is
+// Save serializes the snapshot to path as indented JSON. The write is
 // crash-safe: data goes to a temp file in the same directory, is synced, and
 // is renamed over path, so a crash mid-save leaves either the old model or
 // the new one — never a torn file.
-func (m *Modeler) Save(path string, shardLen int) error {
-	if m.model == nil {
+func (s *Snapshot) Save(path string) error {
+	if s == nil || s.model == nil {
 		return errors.New("core: Save before Train")
 	}
-	if shardLen <= 0 {
-		shardLen = DefaultShardLen
-	}
-	sum, err := modelChecksum(m.model)
+	sum, err := modelChecksum(s.model)
 	if err != nil {
 		return fmt.Errorf("core: encoding model: %w", err)
 	}
 	data, err := json.MarshalIndent(SavedModel{
-		Version:  savedModelVersion,
-		ShardLen: shardLen,
-		Checksum: sum,
-		Model:    m.model,
+		Version:     savedModelVersion,
+		ShardLen:    s.shardLen,
+		Rung:        s.rung.String(),
+		TrainedRows: s.trainedRows,
+		Checksum:    sum,
+		Model:       s.model,
 	}, "", " ")
 	if err != nil {
 		return fmt.Errorf("core: encoding model: %w", err)
@@ -109,39 +121,52 @@ func (m *Modeler) Save(path string, shardLen int) error {
 	return nil
 }
 
-// Load reads a model saved by Save, verifying format version, structural
-// completeness, variable count, and payload checksum; each failure mode
-// returns a distinct typed error (see ErrModel*). The returned Modeler
-// predicts but holds no samples; call AddSamples and Update to continue
-// training it.
-func Load(path string) (*Modeler, int, error) {
+// Save persists the trainer's currently served snapshot, overriding its
+// recorded shard length when shardLen is positive. It errors before the
+// first successful training run.
+func (m *Trainer) Save(path string, shardLen int) error {
+	s := m.Snapshot()
+	if s == nil || s.model == nil {
+		return errors.New("core: Save before Train")
+	}
+	if shardLen > 0 && shardLen != s.shardLen {
+		s = NewSnapshot(s.model, shardLen, s.rung, s.trainedRows)
+	}
+	return s.Save(path)
+}
+
+// LoadSnapshot reads a snapshot saved by Save, verifying format version,
+// structural completeness, variable count, and payload checksum; each
+// failure mode returns a distinct typed error (see ErrModel*). The returned
+// Snapshot predicts immediately; hand it to Trainer.Adopt to serve it from a
+// trainer and continue training with AddSamples and Update.
+func LoadSnapshot(path string) (*Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	var saved SavedModel
 	if err := json.Unmarshal(data, &saved); err != nil {
-		return nil, 0, fmt.Errorf("%w: %v", ErrModelCorrupt, err)
+		return nil, fmt.Errorf("%w: %v", ErrModelCorrupt, err)
 	}
-	if saved.Version != savedModelVersion {
-		return nil, 0, fmt.Errorf("%w: found %d, want %d", ErrModelVersion, saved.Version, savedModelVersion)
+	if saved.Version < minLoadableVersion || saved.Version > savedModelVersion {
+		return nil, fmt.Errorf("%w: found %d, want %d–%d",
+			ErrModelVersion, saved.Version, minLoadableVersion, savedModelVersion)
 	}
 	if saved.Model == nil || saved.Model.Prep == nil || len(saved.Model.Coef) == 0 {
-		return nil, 0, ErrModelIncomplete
+		return nil, ErrModelIncomplete
 	}
 	if saved.Model.Prep.NumVars() != NumVars {
-		return nil, 0, fmt.Errorf("%w: %d variables, want %d",
+		return nil, fmt.Errorf("%w: %d variables, want %d",
 			ErrModelShape, saved.Model.Prep.NumVars(), NumVars)
 	}
 	sum, err := modelChecksum(saved.Model)
 	if err != nil {
-		return nil, 0, fmt.Errorf("%w: %v", ErrModelCorrupt, err)
+		return nil, fmt.Errorf("%w: %v", ErrModelCorrupt, err)
 	}
 	if sum != saved.Checksum {
-		return nil, 0, fmt.Errorf("%w: stored %.12s…, computed %.12s…",
+		return nil, fmt.Errorf("%w: stored %.12s…, computed %.12s…",
 			ErrModelChecksum, saved.Checksum, sum)
 	}
-	m := NewModeler(nil)
-	m.model = saved.Model
-	return m, saved.ShardLen, nil
+	return NewSnapshot(saved.Model, saved.ShardLen, parseRung(saved.Rung), saved.TrainedRows), nil
 }

@@ -16,12 +16,19 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loaded, shardLen, err := Load(path)
+	loaded, err := LoadSnapshot(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if shardLen != testShardLen {
-		t.Errorf("shard length %d, want %d", shardLen, testShardLen)
+	if loaded.ShardLen() != testShardLen {
+		t.Errorf("shard length %d, want %d", loaded.ShardLen(), testShardLen)
+	}
+	// Training provenance must survive the round trip.
+	if loaded.Rung() != RungGenetic {
+		t.Errorf("rung %v, want genetic", loaded.Rung())
+	}
+	if loaded.TrainedRows() != m.Snapshot().TrainedRows() {
+		t.Errorf("trained rows %d, want %d", loaded.TrainedRows(), m.Snapshot().TrainedRows())
 	}
 	// Predictions must match the in-memory model exactly.
 	for _, s := range valid[:5] {
@@ -34,12 +41,24 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			t.Fatalf("round-trip prediction %v, want %v", got, want)
 		}
 	}
+	// A trainer adopting the snapshot serves the same predictions.
+	fresh := NewTrainer(nil)
+	fresh.Adopt(loaded)
+	want, _ := m.PredictShard(valid[0].X, valid[0].HW)
+	got, err := fresh.PredictShard(valid[0].X, valid[0].HW)
+	if err != nil || got != want {
+		t.Errorf("adopted snapshot prediction %v (err %v), want %v", got, err, want)
+	}
 }
 
 func TestSaveBeforeTrainFails(t *testing.T) {
-	m := NewModeler(nil)
+	m := NewTrainer(nil)
 	if err := m.Save(filepath.Join(t.TempDir(), "m.json"), 0); err == nil {
 		t.Error("Save before Train should fail")
+	}
+	var s *Snapshot
+	if err := s.Save(filepath.Join(t.TempDir(), "s.json")); err == nil {
+		t.Error("nil snapshot Save should fail")
 	}
 }
 
@@ -73,8 +92,8 @@ func TestSaveOverwritesAtomically(t *testing.T) {
 	if err := m.Save(path, testShardLen+1); err != nil {
 		t.Fatal(err)
 	}
-	if _, shardLen, err := Load(path); err != nil || shardLen != testShardLen+1 {
-		t.Fatalf("Load after overwrite: shardLen=%d err=%v", shardLen, err)
+	if s, err := LoadSnapshot(path); err != nil || s.ShardLen() != testShardLen+1 {
+		t.Fatalf("LoadSnapshot after overwrite: shardLen=%d err=%v", s.ShardLen(), err)
 	}
 }
 
@@ -87,6 +106,47 @@ func saveValid(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// TestLoadVersion2Compat: version-2 files (no rung/trained_rows metadata)
+// must still load, with the provenance defaulting to zero values.
+func TestLoadVersion2Compat(t *testing.T) {
+	good, err := os.ReadFile(saveValid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saved SavedModel
+	if err := json.Unmarshal(good, &saved); err != nil {
+		t.Fatal(err)
+	}
+	v2 := SavedModel{
+		Version:  2,
+		ShardLen: saved.ShardLen,
+		Checksum: saved.Checksum,
+		Model:    saved.Model,
+	}
+	data, err := json.Marshal(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "v2.json")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(p)
+	if err != nil {
+		t.Fatalf("version-2 file refused: %v", err)
+	}
+	if loaded.ShardLen() != saved.ShardLen {
+		t.Errorf("shard length %d, want %d", loaded.ShardLen(), saved.ShardLen)
+	}
+	if loaded.Rung() != RungNone || loaded.TrainedRows() != 0 {
+		t.Errorf("v2 provenance should default to zero: rung=%v rows=%d",
+			loaded.Rung(), loaded.TrainedRows())
+	}
+	if loaded.Model() == nil {
+		t.Error("v2 load produced no model")
+	}
 }
 
 // TestLoadFailureModes exercises every corruption class with the distinct
@@ -107,32 +167,40 @@ func TestLoadFailureModes(t *testing.T) {
 
 	t.Run("truncated JSON", func(t *testing.T) {
 		p := write("torn.json", good[:len(good)/2])
-		if _, _, err := Load(p); !errors.Is(err, ErrModelCorrupt) {
+		if _, err := LoadSnapshot(p); !errors.Is(err, ErrModelCorrupt) {
 			t.Errorf("err = %v, want ErrModelCorrupt", err)
 		}
 	})
 
 	t.Run("not JSON at all", func(t *testing.T) {
 		p := write("garbage.json", []byte("not json at all"))
-		if _, _, err := Load(p); !errors.Is(err, ErrModelCorrupt) {
+		if _, err := LoadSnapshot(p); !errors.Is(err, ErrModelCorrupt) {
 			t.Errorf("err = %v, want ErrModelCorrupt", err)
 		}
 	})
 
 	t.Run("wrong version", func(t *testing.T) {
-		bad := strings.Replace(string(good), `"version": 2`, `"version": 1`, 1)
+		bad := strings.Replace(string(good), `"version": 3`, `"version": 1`, 1)
 		if bad == string(good) {
 			t.Fatal("version field not found in saved file")
 		}
 		p := write("badver.json", []byte(bad))
-		if _, _, err := Load(p); !errors.Is(err, ErrModelVersion) {
+		if _, err := LoadSnapshot(p); !errors.Is(err, ErrModelVersion) {
+			t.Errorf("err = %v, want ErrModelVersion", err)
+		}
+	})
+
+	t.Run("future version", func(t *testing.T) {
+		bad := strings.Replace(string(good), `"version": 3`, `"version": 99`, 1)
+		p := write("future.json", []byte(bad))
+		if _, err := LoadSnapshot(p); !errors.Is(err, ErrModelVersion) {
 			t.Errorf("err = %v, want ErrModelVersion", err)
 		}
 	})
 
 	t.Run("incomplete model", func(t *testing.T) {
-		p := write("empty.json", []byte(`{"version":2,"shard_len":100}`))
-		if _, _, err := Load(p); !errors.Is(err, ErrModelIncomplete) {
+		p := write("empty.json", []byte(`{"version":3,"shard_len":100}`))
+		if _, err := LoadSnapshot(p); !errors.Is(err, ErrModelIncomplete) {
 			t.Errorf("err = %v, want ErrModelIncomplete", err)
 		}
 	})
@@ -149,14 +217,14 @@ func TestLoadFailureModes(t *testing.T) {
 			t.Fatal(err)
 		}
 		p := write("shape.json", data)
-		if _, _, err := Load(p); !errors.Is(err, ErrModelShape) {
+		if _, err := LoadSnapshot(p); !errors.Is(err, ErrModelShape) {
 			t.Errorf("err = %v, want ErrModelShape", err)
 		}
 	})
 
 	t.Run("bad checksum", func(t *testing.T) {
 		// Flip one coefficient digit without touching the stored checksum:
-		// the payload no longer matches and Load must refuse it.
+		// the payload no longer matches and LoadSnapshot must refuse it.
 		var saved SavedModel
 		if err := json.Unmarshal(good, &saved); err != nil {
 			t.Fatal(err)
@@ -167,13 +235,13 @@ func TestLoadFailureModes(t *testing.T) {
 			t.Fatal(err)
 		}
 		p := write("bitrot.json", data)
-		if _, _, err := Load(p); !errors.Is(err, ErrModelChecksum) {
+		if _, err := LoadSnapshot(p); !errors.Is(err, ErrModelChecksum) {
 			t.Errorf("err = %v, want ErrModelChecksum", err)
 		}
 	})
 
 	t.Run("missing file", func(t *testing.T) {
-		if _, _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		if _, err := LoadSnapshot(filepath.Join(dir, "missing.json")); err == nil {
 			t.Error("missing file should fail")
 		}
 	})

@@ -10,18 +10,18 @@ import (
 )
 
 // Rung identifies which level of the degradation ladder produced the model
-// the Modeler is serving.
+// the Trainer is serving.
 type Rung int
 
 const (
-	// RungNone: no rung produced a usable model; the modeler is as it was.
+	// RungNone: no rung produced a usable model; the trainer is as it was.
 	RungNone Rung = iota
 	// RungGenetic: the full genetic search succeeded (the healthy path).
 	RungGenetic
 	// RungStepwise: genetic search failed or timed out; the cheaper forward
 	// stepwise search produced the model.
 	RungStepwise
-	// RungLastGood: both searches failed; the modeler serves the last-good
+	// RungLastGood: both searches failed; the trainer serves the last-good
 	// model (reloaded from disk, or the previous in-memory fit).
 	RungLastGood
 )
@@ -36,6 +36,21 @@ func (r Rung) String() string {
 		return "last-good"
 	default:
 		return "none"
+	}
+}
+
+// parseRung inverts String; unknown names map to RungNone so saved-model
+// metadata from future versions degrades instead of failing the load.
+func parseRung(s string) Rung {
+	switch s {
+	case "genetic":
+		return RungGenetic
+	case "stepwise":
+		return RungStepwise
+	case "last-good":
+		return RungLastGood
+	default:
+		return RungNone
 	}
 }
 
@@ -90,15 +105,16 @@ func (t TrainReport) String() string {
 //     caller's context is already dead, in which case no further compute is
 //     spent.
 //  3. On failure again, the last-good model: reloaded from LastGoodPath if
-//     set and readable, else the previous in-memory fit (train never
-//     clobbers a fitted model on failure).
+//     set and readable, else the previously published snapshot (a failed
+//     training run never replaces the snapshot).
 //
 // The report says which rung the served model came from; the error is
-// non-nil only when every rung failed and the modeler has no model at all.
+// non-nil only when every rung failed and the trainer has no model at all.
 // This is the always-available behavior the paper's update protocol assumes:
 // the model keeps answering while it is re-specified, even when
-// re-specification goes wrong.
-func (m *Modeler) TrainResilient(ctx context.Context, r Resilience) (TrainReport, error) {
+// re-specification goes wrong — concurrent PredictShard calls read whichever
+// snapshot is current throughout the ladder.
+func (m *Trainer) TrainResilient(ctx context.Context, r Resilience) (TrainReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -128,15 +144,15 @@ func (m *Modeler) TrainResilient(ctx context.Context, r Resilience) (TrainReport
 	}
 
 	if r.LastGoodPath != "" {
-		if loaded, _, err := Load(r.LastGoodPath); err == nil {
-			m.model = loaded.model
+		if loaded, err := LoadSnapshot(r.LastGoodPath); err == nil {
+			m.Adopt(loaded)
 			rep.Rung = RungLastGood
 			return rep, nil
 		} else {
 			rep.LoadErr = err
 		}
 	}
-	if m.model != nil {
+	if m.Model() != nil {
 		rep.Rung = RungLastGood
 		return rep, nil
 	}
@@ -145,14 +161,18 @@ func (m *Modeler) TrainResilient(ctx context.Context, r Resilience) (TrainReport
 		rep.GeneticErr, rep.StepwiseErr)
 }
 
-// trainStepwise is the stepwise rung: same evaluator and final-fit protocol
-// as train, but driven by the cheap forward stepwise search.
-func (m *Modeler) trainStepwise(ctx context.Context, budget int) error {
-	if len(m.Samples) == 0 {
+// trainStepwise is the stepwise rung: same featurized evaluator and final-fit
+// protocol as train, but driven by the cheap forward stepwise search.
+func (m *Trainer) trainStepwise(ctx context.Context, budget int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.samples) == 0 {
 		return ErrNoSamples
 	}
-	ds := ToDataset(m.Samples)
-	base := newEvaluator(ds, m.Fitness, m.Stabilize, m.LogResponse)
+	base, err := m.cachedEvaluator()
+	if err != nil {
+		return fmt.Errorf("core: featurizing samples: %w", err)
+	}
 	var ev genetic.Evaluator = base
 	if m.WrapEvaluator != nil {
 		ev = m.WrapEvaluator(ev)
@@ -161,13 +181,11 @@ func (m *Modeler) trainStepwise(ctx context.Context, budget int) error {
 	if serr != nil {
 		return fmt.Errorf("core: stepwise search failed: %w", serr)
 	}
-	model, err := regress.FitSpec(res.Best.Spec, base.prep, ds, regress.Options{
-		LogResponse: m.LogResponse,
-	})
+	model, err := base.fz.Fit(res.Best.Spec, regress.Options{LogResponse: m.LogResponse})
 	if err != nil {
 		return fmt.Errorf("core: final fit failed: %w", err)
 	}
-	m.model = model
 	m.population = res.Population
+	m.publish(model, RungStepwise, base.fz.NumRows())
 	return nil
 }

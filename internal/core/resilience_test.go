@@ -11,11 +11,11 @@ import (
 	"hsmodel/internal/genetic"
 )
 
-// newSmallModeler returns an untrained modeler over a small sample set, with
+// newSmallModeler returns an untrained trainer over a small sample set, with
 // search parameters sized for unit tests.
-func newSmallModeler(t *testing.T) *Modeler {
+func newSmallModeler(t *testing.T) *Trainer {
 	t.Helper()
-	m := NewModeler(smallCollector().Collect(smallApps(), 40, 1))
+	m := NewTrainer(smallCollector().Collect(smallApps(), 40, 1))
 	m.Search = genetic.Params{PopulationSize: 16, Generations: 5, Seed: 42}
 	return m
 }
@@ -64,7 +64,8 @@ func TestTrainResilientPanicDegradesToStepwise(t *testing.T) {
 	if m.Model() == nil {
 		t.Fatal("no model from stepwise rung")
 	}
-	if _, err := m.PredictShard(m.Samples[0].X, m.Samples[0].HW); err != nil {
+	s0 := m.Samples()[0]
+	if _, err := m.PredictShard(s0.X, s0.HW); err != nil {
 		t.Errorf("stepwise model cannot predict: %v", err)
 	}
 }
@@ -113,19 +114,23 @@ func TestTrainResilientServesLastGoodFromDisk(t *testing.T) {
 	}
 }
 
-// TestTrainResilientNaNSamplesDegrade: NaN-poisoned profile rows make every
-// fit fail as bad input, so both search rungs fail at the final fit; a
-// previously trained in-memory model must keep serving.
+// TestTrainResilientNaNSamplesDegrade: NaN-poisoned profile rows make
+// featurization fail as bad input, so both search rungs fail; a previously
+// published snapshot must keep serving. The poisoning goes through
+// SetSamples so the cached evaluator state is invalidated like any real
+// sample mutation.
 func TestTrainResilientNaNSamplesDegrade(t *testing.T) {
 	m, _ := trainSmallModeler(t)
 	before := m.Model()
-	rows := make([][]float64, len(m.Samples))
-	for i := range m.Samples {
-		rows[i] = m.Samples[i].X[:]
+	poisoned := m.Samples()
+	rows := make([][]float64, len(poisoned))
+	for i := range poisoned {
+		rows[i] = poisoned[i].X[:]
 	}
 	if n := faultinject.PoisonRows(rows, 5, 99); n == 0 {
 		t.Fatal("poisoned no rows")
 	}
+	m.SetSamples(poisoned)
 	rep, err := m.TrainResilient(context.Background(), Resilience{StepwiseBudget: 40})
 	if err != nil {
 		t.Fatal(err)

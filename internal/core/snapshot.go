@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+
+	"hsmodel/internal/hwspace"
+	"hsmodel/internal/profile"
+	"hsmodel/internal/regress"
+)
+
+// ErrNotTrained is returned by prediction methods before any model has been
+// fitted (or loaded).
+var ErrNotTrained = errors.New("core: model not trained")
+
+// Snapshot is an immutable fitted model plus the metadata needed to serve
+// it: the regression (which carries the featurizer's preprocessing state —
+// powers, knots, standardization moments), the profiling shard length, the
+// ladder rung that produced it, and the training-row count. A Trainer
+// publishes a new Snapshot atomically at the end of every successful
+// training run; readers hold a Snapshot and are immune to concurrent
+// retraining. Snapshot is also the unit of persistence (Save/LoadSnapshot).
+//
+// All fields are set at construction and never mutated, so a Snapshot is
+// safe for unsynchronized concurrent use.
+type Snapshot struct {
+	model       *regress.Model
+	shardLen    int
+	rung        Rung
+	trainedRows int
+}
+
+// NewSnapshot wraps a fitted model for serving. shardLen <= 0 defaults to
+// DefaultShardLen.
+func NewSnapshot(model *regress.Model, shardLen int, rung Rung, trainedRows int) *Snapshot {
+	if shardLen <= 0 {
+		shardLen = DefaultShardLen
+	}
+	return &Snapshot{model: model, shardLen: shardLen, rung: rung, trainedRows: trainedRows}
+}
+
+// Model returns the fitted regression model.
+func (s *Snapshot) Model() *regress.Model {
+	if s == nil {
+		return nil
+	}
+	return s.model
+}
+
+// ShardLen returns the profiling shard length (in instructions) the model's
+// training profiles were measured at.
+func (s *Snapshot) ShardLen() int { return s.shardLen }
+
+// Rung reports which degradation-ladder rung produced the model.
+func (s *Snapshot) Rung() Rung { return s.rung }
+
+// TrainedRows returns the number of profile rows the model was fitted on.
+func (s *Snapshot) TrainedRows() int { return s.trainedRows }
+
+// PredictShard predicts the CPI of a shard with characteristics x on
+// hardware hw. Safe on a nil snapshot (returns ErrNotTrained).
+func (s *Snapshot) PredictShard(x profile.Characteristics, hw hwspace.Config) (float64, error) {
+	if s == nil || s.model == nil {
+		return 0, ErrNotTrained
+	}
+	sample := Sample{X: x, HW: hw}
+	return s.model.Predict(sample.Row()), nil
+}
+
+// PredictApplication predicts whole-application CPI on hw by predicting each
+// constituent shard and aggregating (shards have equal instruction counts,
+// so application CPI is the mean of shard CPIs). "A few inaccurate shard
+// predictions have a small effect on the end-to-end prediction."
+func (s *Snapshot) PredictApplication(shards []profile.Characteristics, hw hwspace.Config) (float64, error) {
+	if len(shards) == 0 {
+		return 0, errors.New("core: no shards to predict")
+	}
+	var sum float64
+	for _, x := range shards {
+		p, err := s.PredictShard(x, hw)
+		if err != nil {
+			return 0, err
+		}
+		sum += p
+	}
+	return sum / float64(len(shards)), nil
+}
+
+// EvaluateOn measures model accuracy on held-out samples.
+func (s *Snapshot) EvaluateOn(samples []Sample) (regress.Metrics, error) {
+	if s == nil || s.model == nil {
+		return regress.Metrics{}, ErrNotTrained
+	}
+	return s.model.Evaluate(ToDataset(samples)), nil
+}

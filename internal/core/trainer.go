@@ -1,0 +1,403 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/hwspace"
+	"hsmodel/internal/profile"
+	"hsmodel/internal/regress"
+	"hsmodel/internal/rng"
+	"hsmodel/internal/stats"
+)
+
+// FitnessConfig tunes the per-application fitness evaluation of the paper's
+// pseudocode (Section 3.3):
+//
+//	foreach software s in S:
+//	    split P_s into training T_s, validation V_s
+//	    fit m using {P_-s, T_s} x w
+//	    software fitness f_s = m's accuracy on V_s
+//	model fitness f_m = mean over s of f_s
+type FitnessConfig struct {
+	// TrainFrac is the fraction of each application's rows in T_s
+	// (default 0.7).
+	TrainFrac float64
+	// Weight is the w applied to T_s rows in the weighted fit (default 2).
+	Weight float64
+	// TermPenalty is added to fitness per design column (default 0.0004).
+	// Parsimony pressure keeps the search from memorizing per-application
+	// clusters with large specifications — smaller models extrapolate to
+	// new software far better, which is the point of Section 4.4.
+	TermPenalty float64
+	// Seed determinizes the splits.
+	Seed uint64
+}
+
+func (f FitnessConfig) withDefaults() FitnessConfig {
+	if f.TrainFrac <= 0 || f.TrainFrac >= 1 {
+		f.TrainFrac = 0.7
+	}
+	if f.Weight <= 0 {
+		f.Weight = 2
+	}
+	if f.TermPenalty <= 0 {
+		f.TermPenalty = 0.0004
+	}
+	return f
+}
+
+// Trainer is the training half of the paper's system model: it owns the
+// accumulated sparse profiles (the paper's P), the featurized evaluator
+// state, and the genetic/stepwise/resilience training machinery. Every
+// successful training run publishes an immutable Snapshot through an atomic
+// pointer; predictions (PredictShard, PredictApplication, EvaluateOn) are
+// lock-free reads of the current Snapshot, so the model keeps answering
+// queries while Train, Update, or TrainResilient re-specify it — the
+// always-available behavior the Section 3.2–3.3 update protocol assumes.
+//
+// Configuration fields (Search, Fitness, Stabilize, LogResponse,
+// WrapEvaluator, ShardLen) are set before training begins and must not be
+// mutated concurrently with a training run. Sample mutation goes through
+// AddSamples/SetSamples, which invalidate the cached featurized evaluator so
+// a subsequent Update never trains against stale basis columns.
+type Trainer struct {
+	// Search configures the genetic heuristic.
+	Search genetic.Params
+	// Fitness configures per-application splits and weights.
+	Fitness FitnessConfig
+	// Stabilize applies ladder-of-powers variance stabilization (on by
+	// default through NewTrainer; the ablation bench turns it off).
+	Stabilize bool
+	// LogResponse fits log CPI (on by default through NewTrainer).
+	LogResponse bool
+	// WrapEvaluator, when non-nil, wraps the fitness evaluator before it is
+	// handed to the search. It exists as a seam for fault injection and
+	// instrumentation; production callers leave it nil.
+	WrapEvaluator func(genetic.Evaluator) genetic.Evaluator
+	// ShardLen is recorded in published snapshots (and therefore in saved
+	// model files) so a loaded model profiles new shards consistently;
+	// 0 means DefaultShardLen.
+	ShardLen int
+
+	mu         sync.Mutex // guards samples, version, cache, population, history
+	samples    []Sample
+	version    uint64 // bumped by every sample mutation
+	cache      *evalCache
+	population []genetic.Individual // final population, for warm-started updates
+	history    []genetic.GenStats
+
+	snap atomic.Pointer[Snapshot]
+}
+
+// evalCache memoizes the featurized evaluator together with the state it was
+// built from, so back-to-back training runs over unchanged samples skip the
+// basis-column rebuild while any sample or configuration change forces one.
+type evalCache struct {
+	ev          *evaluator
+	version     uint64
+	stabilize   bool
+	logResponse bool
+	fitness     FitnessConfig
+}
+
+// NewTrainer returns a trainer with the paper's defaults.
+func NewTrainer(samples []Sample) *Trainer {
+	return &Trainer{
+		samples:     samples,
+		Stabilize:   true,
+		LogResponse: true,
+		Fitness:     FitnessConfig{}.withDefaults(),
+	}
+}
+
+// Snapshot returns the currently served model snapshot, or nil before the
+// first successful training run. The read is lock-free; the returned
+// snapshot is immutable and remains valid (and consistent) regardless of
+// concurrent retraining.
+func (m *Trainer) Snapshot() *Snapshot { return m.snap.Load() }
+
+// Adopt publishes an externally produced snapshot (for example one returned
+// by LoadSnapshot) as the served model.
+func (m *Trainer) Adopt(s *Snapshot) { m.snap.Store(s) }
+
+// Model returns the currently served fitted model, or nil before the first
+// successful training run.
+func (m *Trainer) Model() *regress.Model { return m.Snapshot().Model() }
+
+// Population returns the final genetic population from the last search.
+func (m *Trainer) Population() []genetic.Individual {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.population
+}
+
+// History returns per-generation convergence statistics (Figure 5).
+func (m *Trainer) History() []genetic.GenStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.history
+}
+
+// Samples returns a copy of the accumulated profile store.
+func (m *Trainer) Samples() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Sample(nil), m.samples...)
+}
+
+// NumSamples returns the profile-store size.
+func (m *Trainer) NumSamples() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.samples)
+}
+
+// AddSamples appends new profiles to the store (they take effect at the next
+// Train or Update). The cached featurized evaluator is invalidated, so the
+// next training run rebuilds its basis columns over the full store.
+func (m *Trainer) AddSamples(samples []Sample) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.samples = append(m.samples, samples...)
+	m.version++
+}
+
+// SetSamples replaces the profile store and invalidates cached evaluator
+// state. Mutating samples previously returned by Samples has no effect on
+// training; all sample mutation must go through AddSamples or SetSamples.
+func (m *Trainer) SetSamples(samples []Sample) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.samples = samples
+	m.version++
+}
+
+// ErrNoSamples is returned by Train with an empty profile store.
+var ErrNoSamples = errors.New("core: no samples to train on")
+
+// evaluator implements genetic.Evaluator with the paper's inner loops. It
+// featurizes the dataset once (cached basis columns shared by every
+// candidate fit) and precomputes the per-application row split so all
+// candidate models are scored on identical data. It is immutable after
+// construction and safe for the search's concurrent fitness workers.
+type evaluator struct {
+	fz          *regress.Featurizer
+	ds          *regress.Dataset
+	opts        regress.Options
+	apps        []int   // distinct app IDs
+	valRows     [][]int // validation rows per app (parallel to apps)
+	allVal      []int   // concatenation of valRows, for batched design gather
+	weights     []float64
+	termPenalty float64
+}
+
+func newEvaluator(ds *regress.Dataset, fc FitnessConfig, stabilize, logResponse bool) (*evaluator, error) {
+	fc = fc.withDefaults()
+	fz, err := regress.NewFeaturizer(ds, stabilize)
+	if err != nil {
+		return nil, err
+	}
+	ev := &evaluator{fz: fz, ds: ds, termPenalty: fc.TermPenalty}
+
+	// Deterministic split of each application's rows into T_s / V_s.
+	byApp := make(map[int][]int)
+	for r, g := range ds.Group {
+		byApp[g] = append(byApp[g], r)
+	}
+	ev.apps = make([]int, 0, len(byApp))
+	for g := range byApp {
+		ev.apps = append(ev.apps, g)
+	}
+	sort.Ints(ev.apps)
+
+	ev.weights = make([]float64, ds.NumRows())
+	for i := range ev.weights {
+		ev.weights[i] = 1
+	}
+	src := rng.New(fc.Seed ^ 0x5eed5eed)
+	for _, g := range ev.apps {
+		rows := byApp[g]
+		perm := src.Perm(len(rows))
+		cut := int(float64(len(rows)) * fc.TrainFrac)
+		var val []int
+		for k, pi := range perm {
+			r := rows[pi]
+			if k < cut {
+				ev.weights[r] = fc.Weight // T_s rows, weighted w
+			} else {
+				val = append(val, r)
+				ev.weights[r] = 0 // V_s rows excluded from every fit
+			}
+		}
+		sort.Ints(val)
+		ev.valRows = append(ev.valRows, val)
+		ev.allVal = append(ev.allVal, val...)
+	}
+
+	ev.opts = regress.Options{LogResponse: logResponse, Weights: ev.weights}
+	return ev, nil
+}
+
+// Fitness returns the mean over applications of the median absolute
+// percentage error on that application's validation rows. Lower is better.
+// Degenerate fits (rank failures) return a large penalty.
+func (ev *evaluator) Fitness(spec regress.Spec) float64 {
+	model, err := ev.fz.Fit(spec, ev.opts)
+	if err != nil {
+		return 1e6
+	}
+	// One gathered design over every validation row (their weight in the fit
+	// is 0, but the cached basis columns are unweighted), predicted in bulk.
+	valDesign := ev.fz.DesignRows(spec, ev.allVal)
+	var sum float64
+	var n, off int
+	for i := range ev.apps {
+		val := ev.valRows[i]
+		if len(val) == 0 {
+			continue
+		}
+		pred := make([]float64, len(val))
+		truth := make([]float64, len(val))
+		for k, r := range val {
+			pred[k] = model.PredictDesignRow(valDesign.Row(off + k))
+			truth[k] = ev.ds.Y[r]
+		}
+		off += len(val)
+		sum += stats.MedianAbsPctError(pred, truth)
+		n++
+	}
+	if n == 0 {
+		return 1e6
+	}
+	return sum/float64(n) + ev.termPenalty*float64(len(model.Coef))
+}
+
+// SumOfMedianErrors converts a fitness value back to the paper's Figure 5
+// metric ("median errors summed for 7 applications"): fitness is the mean,
+// so the sum is fitness times the application count.
+func (m *Trainer) SumOfMedianErrors(fitness float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[int]bool)
+	for _, s := range m.samples {
+		seen[s.AppID] = true
+	}
+	return fitness * float64(len(seen))
+}
+
+// Train runs the genetic search on the current samples and fits the final
+// model on all rows. Cancellation of ctx (or an expired Search.Deadline)
+// aborts the search and returns an error wrapping genetic.ErrCancelled; a
+// failed or cancelled Train never replaces the published snapshot, so the
+// trainer keeps serving its last-good model. See TrainResilient for the
+// variant that degrades through fallbacks instead of returning the error.
+func (m *Trainer) Train(ctx context.Context) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.train(ctx, nil)
+}
+
+// Update re-specifies and refits the model after the sample store changed,
+// warm-starting the search from the previous population (Section 3.3: "we
+// invoke a heuristic to re-specify and perform a weighted fit of the
+// model"). Update on an untrained trainer is equivalent to Train.
+func (m *Trainer) Update(ctx context.Context) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var seeds []regress.Spec
+	for _, ind := range m.population {
+		seeds = append(seeds, ind.Spec)
+	}
+	return m.train(ctx, seeds)
+}
+
+// cachedEvaluator returns the featurized evaluator for the current samples
+// and configuration, rebuilding it only when either changed since the last
+// training run. Callers must hold m.mu.
+func (m *Trainer) cachedEvaluator() (*evaluator, error) {
+	if c := m.cache; c != nil && c.version == m.version &&
+		c.stabilize == m.Stabilize && c.logResponse == m.LogResponse &&
+		c.fitness == m.Fitness {
+		return c.ev, nil
+	}
+	ev, err := newEvaluator(ToDataset(m.samples), m.Fitness, m.Stabilize, m.LogResponse)
+	if err != nil {
+		return nil, err
+	}
+	m.cache = &evalCache{
+		ev:          ev,
+		version:     m.version,
+		stabilize:   m.Stabilize,
+		logResponse: m.LogResponse,
+		fitness:     m.Fitness,
+	}
+	return ev, nil
+}
+
+// publish stores a freshly fitted model as the served snapshot. Callers must
+// hold m.mu.
+func (m *Trainer) publish(model *regress.Model, rung Rung, rows int) {
+	m.snap.Store(NewSnapshot(model, m.ShardLen, rung, rows))
+}
+
+// train is the shared genetic-rung body. Callers must hold m.mu.
+func (m *Trainer) train(ctx context.Context, initial []regress.Spec) error {
+	if len(m.samples) == 0 {
+		return ErrNoSamples
+	}
+	base, err := m.cachedEvaluator()
+	if err != nil {
+		return fmt.Errorf("core: featurizing samples: %w", err)
+	}
+	var ev genetic.Evaluator = base
+	if m.WrapEvaluator != nil {
+		ev = m.WrapEvaluator(ev)
+	}
+
+	params := m.Search
+	params.Initial = initial
+	m.history = nil
+	params.OnGeneration = func(gs genetic.GenStats) {
+		m.history = append(m.history, gs)
+		if m.Search.OnGeneration != nil {
+			m.Search.OnGeneration(gs)
+		}
+	}
+	res, serr := genetic.Search(ctx, NumVars, ev, params)
+	// Even a partial population is kept: it warm-starts the next attempt.
+	m.population = res.Population
+	if serr != nil {
+		return fmt.Errorf("core: search failed: %w", serr)
+	}
+
+	// Final fit: best specification, all rows, uniform weights.
+	model, err := base.fz.Fit(res.Best.Spec, regress.Options{LogResponse: m.LogResponse})
+	if err != nil {
+		return fmt.Errorf("core: final fit failed: %w", err)
+	}
+	m.publish(model, RungGenetic, base.fz.NumRows())
+	return nil
+}
+
+// PredictShard predicts the CPI of a shard with characteristics x on
+// hardware hw. The read is lock-free against the current snapshot.
+func (m *Trainer) PredictShard(x profile.Characteristics, hw hwspace.Config) (float64, error) {
+	return m.Snapshot().PredictShard(x, hw)
+}
+
+// PredictApplication predicts whole-application CPI on hw from the current
+// snapshot (see Snapshot.PredictApplication).
+func (m *Trainer) PredictApplication(shards []profile.Characteristics, hw hwspace.Config) (float64, error) {
+	return m.Snapshot().PredictApplication(shards, hw)
+}
+
+// EvaluateOn measures the served model's accuracy on held-out samples.
+func (m *Trainer) EvaluateOn(samples []Sample) (regress.Metrics, error) {
+	return m.Snapshot().EvaluateOn(samples)
+}

@@ -71,10 +71,10 @@ func (d Decision) String() string {
 //
 // The new samples are always added to the store so future training sees
 // them.
-func (m *Modeler) Perturb(ctx context.Context, newSamples []Sample, policy UpdatePolicy) (Decision, error) {
+func (m *Trainer) Perturb(ctx context.Context, newSamples []Sample, policy UpdatePolicy) (Decision, error) {
 	policy = policy.withDefaults()
 	var d Decision
-	if m.model == nil {
+	if m.Model() == nil {
 		return d, fmt.Errorf("core: Perturb before Train")
 	}
 	if len(newSamples) == 0 {

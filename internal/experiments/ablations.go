@@ -37,7 +37,7 @@ func (a AblationResult) String() string {
 // AblationStabilization compares models with and without ladder-of-powers
 // variance stabilization (Section 3.1 / Figure 3).
 func AblationStabilization(w *Workspace) (AblationResult, error) {
-	return ablateModeler(w, "variance stabilization", func(m *core.Modeler, on bool) {
+	return ablateModeler(w, "variance stabilization", func(m *core.Trainer, on bool) {
 		m.Stabilize = on
 	})
 }
@@ -49,7 +49,7 @@ func AblationInteractions(w *Workspace) (AblationResult, error) {
 	train := w.TrainingSamples()
 	valid := w.ValidationSamples()
 
-	with := core.NewModeler(train)
+	with := core.NewTrainer(train)
 	with.Search = cfg.searchParams(0xAB1)
 	if err := with.Train(w.ctx); err != nil {
 		return AblationResult{}, err
@@ -83,7 +83,7 @@ func AblationSharding(w *Workspace) (AblationResult, error) {
 	train := append([]core.Sample(nil), w.TrainingSamples()...)
 	valid := w.ValidationSamples()
 
-	with := core.NewModeler(train)
+	with := core.NewTrainer(train)
 	with.Search = cfg.searchParams(0xAB2)
 	if err := with.Train(w.ctx); err != nil {
 		return AblationResult{}, err
@@ -122,7 +122,7 @@ func AblationSharding(w *Workspace) (AblationResult, error) {
 		monoValid[i].X = appMean[monoValid[i].AppID]
 	}
 
-	without := core.NewModeler(mono)
+	without := core.NewTrainer(mono)
 	without.Search = cfg.searchParams(0xAB2)
 	if err := without.Train(w.ctx); err != nil {
 		return AblationResult{}, err
@@ -143,7 +143,7 @@ func AblationStepwise(w *Workspace) (AblationResult, error) {
 	train := w.TrainingSamples()
 	valid := w.ValidationSamples()
 
-	with := core.NewModeler(train)
+	with := core.NewTrainer(train)
 	with.Search = cfg.searchParams(0xAB3)
 	if err := with.Train(w.ctx); err != nil {
 		return AblationResult{}, err
@@ -159,7 +159,10 @@ func AblationStepwise(w *Workspace) (AblationResult, error) {
 
 	// Stepwise with the same fitness and budget, then a final full fit.
 	ds := core.ToDataset(train)
-	eval := stepwiseEvaluator(ds)
+	eval, err := stepwiseEvaluator(ds)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	sres, err := genetic.Stepwise(w.ctx, core.NumVars, eval, budget)
 	if err != nil {
 		return AblationResult{}, err
@@ -177,8 +180,10 @@ func AblationStepwise(w *Workspace) (AblationResult, error) {
 	return res, nil
 }
 
-// stepwiseEvaluator scores specs on an internal split of the dataset.
-func stepwiseEvaluator(ds *regress.Dataset) genetic.Evaluator {
+// stepwiseEvaluator scores specs on an internal split of the dataset, with
+// the training-split basis columns featurized once and shared across every
+// candidate fit.
+func stepwiseEvaluator(ds *regress.Dataset) (genetic.Evaluator, error) {
 	prep := regress.Prepare(ds, true)
 	var trainRows, valRows []int
 	for i := 0; i < ds.NumRows(); i++ {
@@ -188,15 +193,18 @@ func stepwiseEvaluator(ds *regress.Dataset) genetic.Evaluator {
 			trainRows = append(trainRows, i)
 		}
 	}
-	trainDS := ds.Subset(trainRows)
+	fz, err := regress.FeaturizeWith(prep, ds.Subset(trainRows))
+	if err != nil {
+		return nil, err
+	}
 	valDS := ds.Subset(valRows)
 	return genetic.EvaluatorFunc(func(spec regress.Spec) float64 {
-		m, err := regress.FitSpec(spec, prep, trainDS, regress.Options{LogResponse: true})
+		m, err := fz.Fit(spec, regress.Options{LogResponse: true})
 		if err != nil {
 			return 1e6
 		}
 		return m.Evaluate(valDS).MedAPE
-	})
+	}), nil
 }
 
 // AblationDomainSpecific compares the SpMV domain model (3 semantic software
@@ -249,18 +257,18 @@ func AblationDomainSpecific(w *Workspace) (AblationResult, error) {
 // AblationLogResponse compares fitting log CPI against raw CPI — our one
 // modeling choice beyond the paper's text, documented in DESIGN.md.
 func AblationLogResponse(w *Workspace) (AblationResult, error) {
-	return ablateModeler(w, "log-response fit", func(m *core.Modeler, on bool) {
+	return ablateModeler(w, "log-response fit", func(m *core.Trainer, on bool) {
 		m.LogResponse = on
 	})
 }
 
 // ablateModeler trains twice with a toggled knob.
-func ablateModeler(w *Workspace, name string, set func(*core.Modeler, bool)) (AblationResult, error) {
+func ablateModeler(w *Workspace, name string, set func(*core.Trainer, bool)) (AblationResult, error) {
 	cfg := w.Cfg
 	train := w.TrainingSamples()
 	valid := w.ValidationSamples()
 	run := func(on bool) (float64, error) {
-		m := core.NewModeler(train)
+		m := core.NewTrainer(train)
 		m.Search = cfg.searchParams(0xABA)
 		set(m, on)
 		if err := m.Train(w.ctx); err != nil {

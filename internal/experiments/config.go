@@ -103,7 +103,7 @@ type Workspace struct {
 	apps  []*trace.App
 	train []core.Sample
 	valid []core.Sample
-	model *core.Modeler
+	model *core.Trainer
 }
 
 // NewWorkspace prepares a lazy workspace over the seven SPEC2006 stand-ins.
@@ -149,9 +149,9 @@ func (w *Workspace) ValidationSamples() []core.Sample {
 }
 
 // Model trains (once) the steady-state integrated model.
-func (w *Workspace) Model() (*core.Modeler, error) {
+func (w *Workspace) Model() (*core.Trainer, error) {
 	if w.model == nil {
-		m := core.NewModeler(w.TrainingSamples())
+		m := core.NewTrainer(w.TrainingSamples())
 		m.Search = w.Cfg.searchParams(0x5EED)
 		if err := m.Train(w.ctx); err != nil {
 			return nil, fmt.Errorf("experiments: steady-state training: %w", err)

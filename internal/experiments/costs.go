@@ -33,7 +33,7 @@ func ParTime(w *Workspace, workers []int) ParTimeResult {
 	train := w.TrainingSamples()
 	var res ParTimeResult
 	for _, n := range workers {
-		m := core.NewModeler(train)
+		m := core.NewTrainer(train)
 		p := cfg.searchParams(0x9A12)
 		p.Workers = n
 		p.Generations = cfg.Generations / 2
@@ -132,7 +132,7 @@ func Costs(w *Workspace) (CostsResult, error) {
 	// Shared integrated model: one model over all applications.
 	for _, b := range budgets {
 		train := col.Collect(apps, b, cfg.Seed^0xCCF)
-		m := core.NewModeler(train)
+		m := core.NewTrainer(train)
 		p := cfg.searchParams(0xC057)
 		p.Generations = cfg.Generations / 2
 		m.Search = p
@@ -235,7 +235,7 @@ func Manual(w *Workspace) (ManualResult, error) {
 		{I: 1, J: 13},  // taken branches x width
 		{I: 12, J: 13}, // basic block x width
 	}
-	ds := core.ToDataset(m.Samples)
+	ds := core.ToDataset(m.Samples())
 	manual, err := regress.FitSpec(spec, nil, ds, regress.Options{LogResponse: true, Stabilize: true})
 	if err != nil {
 		return ManualResult{}, err

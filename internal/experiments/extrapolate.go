@@ -35,7 +35,7 @@ func Fig10(w *Workspace) (Fig10Result, error) {
 				rest = append(rest, s)
 			}
 		}
-		m := core.NewModeler(rest)
+		m := core.NewTrainer(rest)
 		m.Search = cfg.searchParams(uint64(0xF10 + n))
 		if err := m.Train(w.ctx); err != nil {
 			return res, fmt.Errorf("fig10 %s: %w", app.Name, err)
@@ -102,7 +102,7 @@ func Fig7b(w *Workspace) (Fig7bResult, error) {
 		return Fig7bResult{}, err
 	}
 	// Work on a copy so the workspace's steady-state model stays pristine.
-	m := core.NewModeler(append([]core.Sample(nil), base.Samples...))
+	m := core.NewTrainer(base.Samples())
 	m.Search = cfg.searchParams(0xF7B)
 	if err := m.Train(w.ctx); err != nil {
 		return Fig7bResult{}, err
@@ -215,7 +215,7 @@ func Fig7c(w *Workspace) (Fig7cResult, error) {
 				rest = append(rest, s)
 			}
 		}
-		m := core.NewModeler(rest)
+		m := core.NewTrainer(rest)
 		m.Search = cfg.searchParams(uint64(0xF7C + n))
 		if err := m.Train(w.ctx); err != nil {
 			return res, err

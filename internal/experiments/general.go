@@ -173,7 +173,7 @@ func Fig7a(w *Workspace) (AccuracyResult, error) {
 }
 
 // perAppMedians computes per-application median errors.
-func perAppMedians(m *core.Modeler, samples []core.Sample) map[string]float64 {
+func perAppMedians(m *core.Trainer, samples []core.Sample) map[string]float64 {
 	byApp := map[string][]core.Sample{}
 	for _, s := range samples {
 		byApp[s.App] = append(byApp[s.App], s)

@@ -102,11 +102,19 @@ func FitSpec(spec Spec, prep *Prep, ds *Dataset, opts Options) (m *Model, err er
 		prep = Prepare(ds, opts.Stabilize)
 	}
 	design, cols := prep.Design(spec, ds)
+	return fitDesign(spec, prep, design, cols, ds.Y, opts)
+}
+
+// fitDesign is the shared solve path of FitSpec and Featurizer.Fit: response
+// transform, observation weighting, pivoted-QR solve, and the prediction
+// envelope. design is consumed (weighting scales its rows in place); resp is
+// the raw response vector and is not modified.
+func fitDesign(spec Spec, prep *Prep, design *linalg.Matrix, cols []Column, resp []float64, opts Options) (*Model, error) {
 	if design.Rows < design.Cols {
 		return nil, fmt.Errorf("%w: %d rows, %d columns", ErrTooFewRows, design.Rows, design.Cols)
 	}
-	y := make([]float64, len(ds.Y))
-	for i, v := range ds.Y {
+	y := make([]float64, len(resp))
+	for i, v := range resp {
 		if opts.LogResponse {
 			if v <= 0 {
 				return nil, fmt.Errorf("%w: non-positive response %g with LogResponse", ErrBadInput, v)
@@ -137,8 +145,8 @@ func FitSpec(spec Spec, prep *Prep, ds *Dataset, opts Options) (m *Model, err er
 		}
 		return nil, err
 	}
-	yLo, yHi := ds.Y[0], ds.Y[0]
-	for _, v := range ds.Y {
+	yLo, yHi := resp[0], resp[0]
+	for _, v := range resp {
 		if v < yLo {
 			yLo = v
 		}
@@ -167,6 +175,13 @@ func (m *Model) Predict(raw []float64) float64 {
 
 func (m *Model) predictInto(raw, row []float64) float64 {
 	m.Prep.fillDesignRow(m.Spec, raw, row)
+	return m.PredictDesignRow(row)
+}
+
+// PredictDesignRow predicts from an already-expanded design row (for example
+// one assembled by Featurizer.DesignRows), applying the coefficient dot
+// product, the response transform, and the prediction envelope.
+func (m *Model) PredictDesignRow(row []float64) float64 {
 	var s float64
 	for j, c := range m.Coef {
 		s += c * row[j]

@@ -114,7 +114,13 @@ func (o TrainOptions) withDefaults() TrainOptions {
 func TrainDomainModel(ctx context.Context, matrix string, points []Point, resp Response, opts TrainOptions) (*DomainModel, error) {
 	opts = opts.withDefaults()
 	ds := BuildDomainDataset(points, resp)
-	prep := regress.Prepare(ds, true)
+	// Featurize once over all points: preprocessing (powers, knots) is
+	// learned from the full dataset and the cached basis columns are shared
+	// by every candidate fit of the search.
+	fzFull, err := regress.NewFeaturizer(ds, true)
+	if err != nil {
+		return nil, fmt.Errorf("spmv: featurizing %s %s: %w", matrix, resp, err)
+	}
 
 	// Deterministic train/validation split for search fitness.
 	nVal := int(float64(len(points)) * opts.ValFrac)
@@ -131,11 +137,14 @@ func TrainDomainModel(ctx context.Context, matrix string, points []Point, resp R
 			trainRows = append(trainRows, i)
 		}
 	}
-	trainDS := ds.Subset(trainRows)
+	fzTrain, err := regress.FeaturizeWith(fzFull.Prep(), ds.Subset(trainRows))
+	if err != nil {
+		return nil, fmt.Errorf("spmv: featurizing %s %s: %w", matrix, resp, err)
+	}
 	valDS := ds.Subset(valRows)
 
 	eval := genetic.EvaluatorFunc(func(spec regress.Spec) float64 {
-		m, err := regress.FitSpec(spec, prep, trainDS, regress.Options{LogResponse: true})
+		m, err := fzTrain.Fit(spec, regress.Options{LogResponse: true})
 		if err != nil {
 			return 1e6
 		}
@@ -146,7 +155,7 @@ func TrainDomainModel(ctx context.Context, matrix string, points []Point, resp R
 		return nil, fmt.Errorf("spmv: search for %s %s: %w", matrix, resp, err)
 	}
 
-	final, err := regress.FitSpec(res.Best.Spec, prep, ds, regress.Options{LogResponse: true})
+	final, err := fzFull.Fit(res.Best.Spec, regress.Options{LogResponse: true})
 	if err != nil {
 		return nil, fmt.Errorf("spmv: final fit for %s %s: %w", matrix, resp, err)
 	}
