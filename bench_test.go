@@ -387,6 +387,167 @@ func BenchmarkFeaturizerCache(b *testing.B) {
 	})
 }
 
+// gramBenchData synthesizes a GA-scale dataset shaped like the real modeling
+// problem: 26 variables of which the first 13 take discrete "hardware" levels
+// and the rest are continuous profile characteristics, with evaluator-style
+// weights (train rows 2, held-out rows 0) and a strictly positive response.
+func gramBenchData(n int) (*regress.Dataset, []float64) {
+	src := rng.New(42)
+	const p = core.NumVars
+	ds := &regress.Dataset{
+		Names: make([]string, p),
+		X:     linalg.NewMatrix(n, p),
+		Y:     make([]float64, n),
+	}
+	for v := 0; v < p; v++ {
+		ds.Names[v] = "v" + string(rune('a'+v%26))
+	}
+	for i := 0; i < n; i++ {
+		row := ds.X.Row(i)
+		for v := range row {
+			if v < 13 {
+				row[v] = float64(1 + src.Intn(8))
+			} else {
+				row[v] = 0.2 + 3*src.Float64()
+			}
+		}
+		y := 1.0
+		for v, x := range row {
+			y += 0.05 * float64(v%5) * x
+		}
+		ds.Y[i] = y * (0.9 + 0.2*src.Float64())
+	}
+	w := make([]float64, n)
+	for i := range w {
+		if src.Float64() < 0.7 {
+			w[i] = 2
+		}
+	}
+	return ds, w
+}
+
+// gramBenchSpecs draws a GA-like candidate population.
+func gramBenchSpecs(count, vars int, seed uint64) []regress.Spec {
+	src := rng.New(seed)
+	specs := make([]regress.Spec, count)
+	for s := range specs {
+		specs[s].Codes = make([]regress.TransformCode, vars)
+		for v := range specs[s].Codes {
+			specs[s].Codes[v] = regress.TransformCode(src.Uint64() % uint64(regress.NumTransformCodes))
+		}
+		for k := int(src.Uint64() % 4); k > 0; k-- {
+			i, j := int(src.Uint64()%uint64(vars)), int(src.Uint64()%uint64(vars))
+			if i != j {
+				specs[s].Interactions = append(specs[s].Interactions,
+					regress.Interaction{I: i, J: j}.Canon())
+			}
+		}
+	}
+	return specs
+}
+
+// BenchmarkGramFitParity fits one candidate per iteration on both the
+// Gram/Cholesky path and the pivoted-QR path, reporting the worst coefficient
+// divergence observed (the 1e-8 contract) and the share of fits the Gram path
+// served directly.
+func BenchmarkGramFitParity(b *testing.B) {
+	ds, weights := gramBenchData(1200)
+	fz, err := regress.NewFeaturizer(ds, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := regress.Options{LogResponse: true, Weights: weights}
+	gc, err := regress.NewGramCache(fz, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := gramBenchSpecs(32, core.NumVars, 17)
+	maxDiff := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := specs[i%len(specs)]
+		gm, gerr := gc.Fit(spec)
+		qm, qerr := fz.Fit(spec, opts)
+		if (gerr == nil) != (qerr == nil) {
+			b.Fatalf("path disagreement: gram %v, qr %v", gerr, qerr)
+		}
+		if gerr != nil {
+			continue
+		}
+		for j := range gm.Coef {
+			d := gm.Coef[j] - qm.Coef[j]
+			if d < 0 {
+				d = -d
+			}
+			rel := d / (1 + absf(qm.Coef[j]))
+			if rel > maxDiff && gm.Rank == qm.Rank {
+				maxDiff = rel
+			}
+		}
+	}
+	b.StopTimer()
+	s := gc.Stats()
+	b.ReportMetric(maxDiff, "max-coef-reldiff")
+	if total := s.GramFits + s.QRFallbacks; total > 0 {
+		b.ReportMetric(float64(s.GramFits)/float64(total), "gram-share")
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// BenchmarkGenerationFitness measures the tentpole speedup: one genetic
+// generation's worth of candidate fits (32 specs, 1200 rows, 26 variables)
+// on the PR 2 featurizer-only QR path versus the Gram-cache path with warm
+// cross-products — the steady state of every generation after the first.
+func BenchmarkGenerationFitness(b *testing.B) {
+	ds, weights := gramBenchData(1200)
+	fz, err := regress.NewFeaturizer(ds, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := regress.Options{LogResponse: true, Weights: weights}
+	specs := gramBenchSpecs(32, core.NumVars, 17)
+
+	b.Run("featurizer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, spec := range specs {
+				if _, err := fz.Fit(spec, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("gram", func(b *testing.B) {
+		gc, err := regress.NewGramCache(fz, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, spec := range specs { // warm the cross-product memo
+			if _, err := gc.Fit(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, spec := range specs {
+				if _, err := gc.Fit(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		s := gc.Stats()
+		if total := s.GramFits + s.QRFallbacks; total > 0 {
+			b.ReportMetric(float64(s.GramFits)/float64(total), "gram-share")
+		}
+	})
+}
+
 func BenchmarkModelPredict(b *testing.B) {
 	w := workspace()
 	m, err := w.Model()

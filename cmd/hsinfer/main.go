@@ -22,6 +22,7 @@ import (
 	"hsmodel/internal/core"
 	"hsmodel/internal/genetic"
 	"hsmodel/internal/hwspace"
+	"hsmodel/internal/isa"
 	"hsmodel/internal/profile"
 	"hsmodel/internal/trace"
 )
@@ -69,8 +70,10 @@ func cmdProfile(args []string) error {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	for s := 0; s < *shards; s++ {
-		p := profile.Stream(app.ShardStream(s, *shardLen), app.Name, s)
+	profs := profile.StreamShards(app.Name, profile.ShardRange(*shards), 0, func(s int) isa.Stream {
+		return app.ShardStream(s, *shardLen)
+	})
+	for _, p := range profs {
 		if err := enc.Encode(p); err != nil {
 			return err
 		}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/trace"
+)
+
+// gramTestTrainer collects a small sample store and returns a trainer with a
+// quick search configuration.
+func gramTestTrainer(t *testing.T, samplesPerApp int) *Trainer {
+	t.Helper()
+	col := &Collector{ShardLen: 20_000, ShardPool: 8}
+	apps := []*trace.App{trace.Bzip2(), trace.Hmmer(), trace.Astar()}
+	m := NewTrainer(col.Collect(apps, samplesPerApp, 7))
+	m.Search = genetic.Params{PopulationSize: 14, Generations: 3, Seed: 7, Workers: 2}
+	return m
+}
+
+// TestTrainUsesGramPath: after a genetic training run, the evaluator's Gram
+// layer must have served fits — and mostly from the Cholesky path, since the
+// collected profile store is well-conditioned.
+func TestTrainUsesGramPath(t *testing.T) {
+	m := gramTestTrainer(t, 30)
+	if err := m.Train(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := m.FitPathStats()
+	total := s.GramFits + s.QRFallbacks
+	if total == 0 {
+		t.Fatal("no candidate fits recorded by the Gram layer")
+	}
+	if s.GramFits == 0 {
+		t.Errorf("all %d fits fell back to QR; Gram path never used", total)
+	}
+	if s.EntryMisses == 0 || s.EntryHits == 0 {
+		t.Errorf("entry counters not moving: hits=%d misses=%d", s.EntryHits, s.EntryMisses)
+	}
+	t.Logf("gram=%d qr=%d entry hits=%d misses=%d", s.GramFits, s.QRFallbacks, s.EntryHits, s.EntryMisses)
+}
+
+// TestTrainReportCarriesFitPathCounters: TrainResilient surfaces the Gram
+// counters in its report.
+func TestTrainReportCarriesFitPathCounters(t *testing.T) {
+	m := gramTestTrainer(t, 30)
+	rep, err := m.TrainResilient(context.Background(), Resilience{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rung != RungGenetic {
+		t.Fatalf("rung = %v, want genetic", rep.Rung)
+	}
+	if rep.GramFits+rep.QRFallbacks == 0 {
+		t.Error("TrainReport has zero fit-path counters")
+	}
+	if s := rep.String(); s == "" {
+		t.Error("empty report string")
+	}
+}
+
+// TestGramCacheInvalidatedOnSampleMutation: AddSamples must invalidate the
+// cached evaluator, so the next training run rebuilds the Gram cache (its
+// cross-products would otherwise describe a stale dataset version).
+func TestGramCacheInvalidatedOnSampleMutation(t *testing.T) {
+	m := gramTestTrainer(t, 24)
+	ctx := context.Background()
+	if err := m.Train(ctx); err != nil {
+		t.Fatal(err)
+	}
+	gc1 := m.cache.ev.gc
+	if gc1 == nil {
+		t.Fatal("no Gram cache after training")
+	}
+
+	// Untouched samples: Update must reuse the same Gram cache.
+	if err := m.Update(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if m.cache.ev.gc != gc1 {
+		t.Error("Update over unchanged samples rebuilt the Gram cache")
+	}
+
+	// Mutated samples: the evaluator (and with it the Gram cache) rebuilds.
+	col := &Collector{ShardLen: 20_000, ShardPool: 8}
+	m.AddSamples(col.Collect([]*trace.App{trace.Sjeng()}, 12, 99))
+	if err := m.Update(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if m.cache.ev.gc == gc1 {
+		t.Error("AddSamples did not invalidate the Gram cache")
+	}
+	if n := m.cache.ev.fz.NumRows(); n != m.NumSamples() {
+		t.Errorf("rebuilt featurizer has %d rows, store has %d", n, m.NumSamples())
+	}
+}

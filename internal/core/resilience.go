@@ -82,6 +82,13 @@ type TrainReport struct {
 	GeneticErr  error // why the genetic rung failed (or nil)
 	StepwiseErr error // why the stepwise rung failed or was skipped (or nil)
 	LoadErr     error // why reloading LastGoodPath failed (or nil)
+	// GramFits and QRFallbacks count how candidate fits were served during
+	// this training attempt's evaluator lifetime: the O(p³) Gram/Cholesky
+	// fast path versus the pivoted-QR fallback (ill-conditioned or
+	// rank-deficient sub-Gram systems). A high fallback rate is a signal the
+	// profile store has collinear or degenerate columns.
+	GramFits    uint64
+	QRFallbacks uint64
 }
 
 func (t TrainReport) String() string {
@@ -94,6 +101,9 @@ func (t TrainReport) String() string {
 	}
 	if t.LoadErr != nil {
 		s += fmt.Sprintf(" (last-good load: %v)", t.LoadErr)
+	}
+	if t.GramFits+t.QRFallbacks > 0 {
+		s += fmt.Sprintf(" (fits: %d gram, %d qr-fallback)", t.GramFits, t.QRFallbacks)
 	}
 	return s
 }
@@ -114,12 +124,15 @@ func (t TrainReport) String() string {
 // the model keeps answering while it is re-specified, even when
 // re-specification goes wrong — concurrent PredictShard calls read whichever
 // snapshot is current throughout the ladder.
-func (m *Trainer) TrainResilient(ctx context.Context, r Resilience) (TrainReport, error) {
+func (m *Trainer) TrainResilient(ctx context.Context, r Resilience) (rep TrainReport, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	r = r.withDefaults()
-	var rep TrainReport
+	defer func() {
+		s := m.FitPathStats()
+		rep.GramFits, rep.QRFallbacks = s.GramFits, s.QRFallbacks
+	}()
 
 	gctx := ctx
 	if r.SearchTimeout > 0 {

@@ -181,13 +181,33 @@ func (m *Trainer) SetSamples(samples []Sample) {
 // ErrNoSamples is returned by Train with an empty profile store.
 var ErrNoSamples = errors.New("core: no samples to train on")
 
+// FitPathStats reports the cumulative candidate-fit counters of the current
+// cached evaluator's Gram layer: how many fits the O(p³) Cholesky path
+// served versus how many fell back to pivoted QR, and how the cross-product
+// memo behaved. The counters reset whenever the evaluator cache is
+// invalidated (AddSamples, SetSamples, or a configuration change) because
+// the Gram cache is rebuilt with it. Zero-valued stats mean no training run
+// has used the Gram layer since the last invalidation.
+func (m *Trainer) FitPathStats() regress.GramStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cache == nil || m.cache.ev.gc == nil {
+		return regress.GramStats{}
+	}
+	return m.cache.ev.gc.Stats()
+}
+
 // evaluator implements genetic.Evaluator with the paper's inner loops. It
 // featurizes the dataset once (cached basis columns shared by every
-// candidate fit) and precomputes the per-application row split so all
-// candidate models are scored on identical data. It is immutable after
-// construction and safe for the search's concurrent fitness workers.
+// candidate fit), layers a Gram cache over those columns so each candidate
+// fit is an O(p³) normal-equation solve instead of an O(n·p²) QR pass, and
+// precomputes the per-application row split so all candidate models are
+// scored on identical data. It is immutable after construction (the Gram
+// cache's internal memo is concurrency-safe) and safe for the search's
+// concurrent fitness workers.
 type evaluator struct {
 	fz          *regress.Featurizer
+	gc          *regress.GramCache // nil when the Gram layer is unavailable
 	ds          *regress.Dataset
 	opts        regress.Options
 	apps        []int   // distinct app IDs
@@ -241,14 +261,30 @@ func newEvaluator(ds *regress.Dataset, fc FitnessConfig, stabilize, logResponse 
 	}
 
 	ev.opts = regress.Options{LogResponse: logResponse, Weights: ev.weights}
+	// The Gram layer bakes the response transform and split weights into its
+	// cached cross-products. If construction fails (e.g. a non-positive CPI
+	// under LogResponse), candidate fits simply stay on the per-spec QR path,
+	// which reports the same condition per fit.
+	if gc, err := regress.NewGramCache(fz, ev.opts); err == nil {
+		ev.gc = gc
+	}
 	return ev, nil
+}
+
+// fit fits one candidate spec through the Gram/Cholesky fast path when
+// available, falling back to the featurized pivoted-QR path.
+func (ev *evaluator) fit(spec regress.Spec) (*regress.Model, error) {
+	if ev.gc != nil {
+		return ev.gc.Fit(spec)
+	}
+	return ev.fz.Fit(spec, ev.opts)
 }
 
 // Fitness returns the mean over applications of the median absolute
 // percentage error on that application's validation rows. Lower is better.
 // Degenerate fits (rank failures) return a large penalty.
 func (ev *evaluator) Fitness(spec regress.Spec) float64 {
-	model, err := ev.fz.Fit(spec, ev.opts)
+	model, err := ev.fit(spec)
 	if err != nil {
 		return 1e6
 	}

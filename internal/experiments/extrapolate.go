@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hsmodel/internal/core"
+	"hsmodel/internal/isa"
 	"hsmodel/internal/profile"
 	"hsmodel/internal/regress"
 	"hsmodel/internal/stats"
@@ -284,10 +285,10 @@ func Fig9(w *Workspace) Fig9Result {
 	means := map[string]profile.Characteristics{}
 	var order []string
 	for _, app := range w.Apps() {
-		var profs []profile.ShardProfile
-		for s := 0; s < cfg.ShardPool/2; s++ {
-			profs = append(profs, profile.Stream(app.ShardStream(s, cfg.ShardLen), app.Name, s))
-		}
+		app := app
+		profs := profile.StreamShards(app.Name, profile.ShardRange(cfg.ShardPool/2), 0, func(s int) isa.Stream {
+			return app.ShardStream(s, cfg.ShardLen)
+		})
 		means[app.Name] = profile.MeanCharacteristics(profs)
 		order = append(order, app.Name)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"hsmodel/internal/core"
 	"hsmodel/internal/genetic"
+	"hsmodel/internal/isa"
 	"hsmodel/internal/profile"
 	"hsmodel/internal/regress"
 	"hsmodel/internal/stats"
@@ -31,8 +32,11 @@ func Fig3(w *Workspace) Fig3Result {
 	cfg := w.Cfg
 	var sums []float64
 	for _, app := range w.Apps() {
-		for s := 0; s < cfg.ShardPool; s++ {
-			p := profile.Stream(app.ShardStream(s, cfg.ShardLen), app.Name, s)
+		app := app
+		profs := profile.StreamShards(app.Name, profile.ShardRange(cfg.ShardPool), 0, func(s int) isa.Stream {
+			return app.ShardStream(s, cfg.ShardLen)
+		})
+		for _, p := range profs {
 			sums = append(sums, p.SumReuse256)
 		}
 	}

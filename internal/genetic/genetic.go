@@ -28,7 +28,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 	"time"
 
@@ -426,25 +426,39 @@ func newFitnessCache(eval Evaluator, workers int) *fitnessCache {
 	return &fitnessCache{eval: eval, workers: workers, known: make(map[string]float64)}
 }
 
+// specKey renders a spec to a canonical cache key. It runs once per
+// chromosome per generation on the fitness hot path, so it builds the key in
+// one reused byte buffer (strconv appends, no fmt) and canonicalizes the
+// interaction order with an in-place insertion sort on stack scratch instead
+// of an allocated slice and sort.Slice closure.
 func specKey(s regress.Spec) string {
-	var b strings.Builder
+	buf := make([]byte, 0, 2*len(s.Codes)+8*len(s.Interactions))
 	for _, c := range s.Codes {
-		fmt.Fprintf(&b, "%d,", c)
+		buf = strconv.AppendUint(buf, uint64(c), 10)
+		buf = append(buf, ',')
 	}
-	ins := make([]regress.Interaction, len(s.Interactions))
-	for i, in := range s.Interactions {
-		ins[i] = in.Canon()
+	var stack [24]regress.Interaction // covers the default MaxInteractions
+	ins := stack[:0]
+	if len(s.Interactions) > len(stack) {
+		ins = make([]regress.Interaction, 0, len(s.Interactions))
 	}
-	sort.Slice(ins, func(i, j int) bool {
-		if ins[i].I != ins[j].I {
-			return ins[i].I < ins[j].I
+	for _, in := range s.Interactions {
+		c := in.Canon()
+		pos := len(ins)
+		ins = append(ins, c)
+		for pos > 0 && (ins[pos-1].I > c.I || (ins[pos-1].I == c.I && ins[pos-1].J > c.J)) {
+			ins[pos] = ins[pos-1]
+			pos--
 		}
-		return ins[i].J < ins[j].J
-	})
-	for _, in := range ins {
-		fmt.Fprintf(&b, "|%d-%d", in.I, in.J)
+		ins[pos] = c
 	}
-	return b.String()
+	for _, in := range ins {
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(in.I), 10)
+		buf = append(buf, '-')
+		buf = strconv.AppendInt(buf, int64(in.J), 10)
+	}
+	return string(buf)
 }
 
 func (fc *fitnessCache) misses() int {

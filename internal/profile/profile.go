@@ -22,6 +22,9 @@ package profile
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"hsmodel/internal/isa"
 )
@@ -209,6 +212,62 @@ func Stream(st isa.Stream, app string, shard int) ShardProfile {
 		pr.Observe(&in)
 	}
 	return pr.Finish(app, shard)
+}
+
+// StreamShards profiles many shards of one application across a worker pool.
+// Shards are independent by construction (Section 2.1: each shard is a
+// disjoint slice of the dynamic instruction stream), so each worker runs its
+// own Profiler over the stream the factory returns for that shard. The
+// result slice is in deterministic order: out[k] is the profile of
+// shards[k], regardless of worker scheduling. workers <= 0 means GOMAXPROCS.
+//
+// The stream factory must return a fresh, independent stream per call; it is
+// invoked concurrently and must be safe for concurrent use (trace.App's
+// ShardStream is: each call builds its own generator state).
+func StreamShards(app string, shards []int, workers int, stream func(shard int) isa.Stream) []ShardProfile {
+	out := make([]ShardProfile, len(shards))
+	if len(shards) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers == 1 {
+		for k, s := range shards {
+			out[k] = Stream(stream(s), app, s)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(shards) {
+					return
+				}
+				out[k] = Stream(stream(shards[k]), app, shards[k])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// ShardRange returns the shard indices [0, n) — the common "profile a prefix
+// of the shard pool" argument to StreamShards.
+func ShardRange(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
 }
 
 // MeanCharacteristics averages a set of shard profiles characteristic-wise —

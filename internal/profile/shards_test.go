@@ -1,0 +1,67 @@
+package profile
+
+import (
+	"reflect"
+	"testing"
+
+	"hsmodel/internal/isa"
+	"hsmodel/internal/trace"
+)
+
+// TestStreamShardsMatchesSerial: the parallel shard profiler must return
+// results in deterministic shard order, identical to a serial loop, for any
+// worker count. Runs under -race in `make race` to exercise the work-stealing
+// counter.
+func TestStreamShardsMatchesSerial(t *testing.T) {
+	app := trace.Bzip2()
+	const shardLen = 5_000
+	shards := ShardRange(9)
+	want := make([]ShardProfile, len(shards))
+	for k, s := range shards {
+		want[k] = Stream(app.ShardStream(s, shardLen), app.Name, s)
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		got := StreamShards(app.Name, shards, workers, func(s int) isa.Stream {
+			return app.ShardStream(s, shardLen)
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: parallel profile order/content diverged from serial", workers)
+		}
+	}
+}
+
+// TestStreamShardsArbitraryIndices: shard lists need not be contiguous; out[k]
+// must correspond to shards[k].
+func TestStreamShardsArbitraryIndices(t *testing.T) {
+	app := trace.Astar()
+	const shardLen = 4_000
+	shards := []int{7, 2, 11}
+	got := StreamShards(app.Name, shards, 2, func(s int) isa.Stream {
+		return app.ShardStream(s, shardLen)
+	})
+	for k, s := range shards {
+		want := Stream(app.ShardStream(s, shardLen), app.Name, s)
+		if !reflect.DeepEqual(got[k], want) {
+			t.Errorf("out[%d] is not the profile of shard %d", k, s)
+		}
+	}
+}
+
+func TestStreamShardsEmpty(t *testing.T) {
+	got := StreamShards("none", nil, 4, func(s int) isa.Stream {
+		t.Fatal("stream factory called for empty shard list")
+		return nil
+	})
+	if len(got) != 0 {
+		t.Fatalf("got %d profiles for empty shard list", len(got))
+	}
+}
+
+func TestShardRange(t *testing.T) {
+	if got := ShardRange(4); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("ShardRange(4) = %v", got)
+	}
+	if got := ShardRange(0); len(got) != 0 {
+		t.Errorf("ShardRange(0) = %v", got)
+	}
+}
