@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench-smoke ci
+.PHONY: build vet test race bench-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,14 @@ race:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x ./...
 
+# serve-smoke boots the hsserve HTTP service on a random loopback port,
+# drives one predict, one coalescing batch, a samples POST, and a metrics
+# scrape through a real client, and exits non-zero on any mismatch.
+serve-smoke:
+	$(GO) run ./cmd/hsserve -selfcheck
+
 # ci is the gate: compile, static analysis, plain tests, then the race
 # detector over the whole tree (the parallel fitness pool, the lock-free
-# snapshot swaps, and the fault-injection schedules are the usual suspects).
-ci: build vet test race
+# snapshot swaps, and the fault-injection schedules are the usual suspects),
+# and finally the end-to-end serving smoke test.
+ci: build vet test race serve-smoke

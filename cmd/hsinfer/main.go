@@ -6,6 +6,11 @@
 //	hsinfer train   -samples 120 -out model.json
 //	hsinfer predict -model model.json -app astar -shard 3
 //	hsinfer predict -model model.json -app astar -shard 3 -arch 3,5,2,4,3,3,4,0,3,1,2,1,3
+//	hsinfer model   -model model.json
+//
+// predict -json and model -json emit the same wire schema the hsserve HTTP
+// service speaks (PredictResponse, ModelInfo, ErrorResponse), so scripted
+// consumers can switch between the CLI and the service without reparsing.
 package main
 
 import (
@@ -19,12 +24,10 @@ import (
 	"strings"
 	"syscall"
 
-	"hsmodel/internal/core"
-	"hsmodel/internal/genetic"
-	"hsmodel/internal/hwspace"
 	"hsmodel/internal/isa"
 	"hsmodel/internal/profile"
 	"hsmodel/internal/trace"
+	"hsmodel/pkg/hsmodel"
 )
 
 func main() {
@@ -43,6 +46,8 @@ func main() {
 		err = cmdTrain(ctx, os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
+	case "model":
+		err = cmdModel(os.Args[2:])
 	default:
 		usage()
 	}
@@ -53,7 +58,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hsinfer <profile|train|predict> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hsinfer <profile|train|predict|model> [flags]")
 	os.Exit(2)
 }
 
@@ -61,7 +66,7 @@ func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	appName := fs.String("app", "bzip2", "application name")
 	shards := fs.Int("shards", 5, "number of shards to profile")
-	shardLen := fs.Int("shardlen", core.DefaultShardLen, "shard length in instructions")
+	shardLen := fs.Int("shardlen", hsmodel.DefaultShardLen, "shard length in instructions")
 	fs.Parse(args)
 
 	app, err := trace.ByName(*appName)
@@ -93,15 +98,16 @@ func cmdTrain(ctx context.Context, args []string) error {
 	fs.Parse(args)
 
 	apps := trace.SPEC2006()
-	col := &core.Collector{ShardLen: *shardLen}
+	col := &hsmodel.Collector{ShardLen: *shardLen}
 	fmt.Fprintf(os.Stderr, "collecting %d samples/app across %d applications...\n", *samples, len(apps))
-	m := core.NewTrainer(col.Collect(apps, *samples, *seed))
-	m.ShardLen = *shardLen
-	m.Search = genetic.Params{PopulationSize: *pop, Generations: *gens, Seed: *seed}
+	m := hsmodel.New(col.Collect(apps, *samples, *seed),
+		hsmodel.WithSearch(hsmodel.SearchParams{PopulationSize: *pop, Generations: *gens, Seed: *seed}),
+		hsmodel.WithShardLen(*shardLen),
+	)
 	fmt.Fprintln(os.Stderr, "training...")
 	// Degradation ladder: genetic search, then stepwise, then the last-good
 	// model already at -out (if any). See DESIGN.md "Failure modes".
-	rep, err := m.TrainResilient(ctx, core.Resilience{
+	rep, err := m.TrainResilient(ctx, hsmodel.Resilience{
 		SearchTimeout: *timeout,
 		LastGoodPath:  *out,
 	})
@@ -109,7 +115,7 @@ func cmdTrain(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, rep)
-	if rep.Rung == core.RungLastGood {
+	if rep.Rung == hsmodel.RungLastGood {
 		// The model on disk is already the one being served; do not rewrite it.
 		fmt.Fprintf(os.Stderr, "keeping existing model at %s\n", *out)
 		return nil
@@ -124,6 +130,24 @@ func cmdTrain(ctx context.Context, args []string) error {
 	return nil
 }
 
+// parseArch converts the CLI's comma-separated Table 2 level indices through
+// the same validation path as the wire schema's `arch` field.
+func parseArch(arch string) (hsmodel.Config, error) {
+	if arch == "" {
+		return hsmodel.Baseline(), nil
+	}
+	parts := strings.Split(arch, ",")
+	ix := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return hsmodel.Config{}, err
+		}
+		ix[i] = v
+	}
+	return hsmodel.ConfigFromArch(ix)
+}
+
 func cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	modelPath := fs.String("model", "model.json", "trained model path")
@@ -131,47 +155,83 @@ func cmdPredict(args []string) error {
 	shard := fs.Int("shard", 0, "shard index")
 	arch := fs.String("arch", "", "13 comma-separated Table 2 level indices (default: baseline)")
 	check := fs.Bool("check", true, "also simulate the pair and report error")
+	asJSON := fs.Bool("json", false, "emit the wire-schema PredictResponse (errors as ErrorResponse)")
 	fs.Parse(args)
 
-	snap, err := core.LoadSnapshot(*modelPath)
+	err := predict(*modelPath, *appName, *shard, *arch, *check, *asJSON)
+	if err != nil && *asJSON {
+		json.NewEncoder(os.Stdout).Encode(hsmodel.ErrorResponse{Error: err.Error()})
+		os.Exit(1)
+	}
+	return err
+}
+
+func predict(modelPath, appName string, shard int, arch string, check, asJSON bool) error {
+	snap, err := hsmodel.LoadSnapshot(modelPath)
 	if err != nil {
 		return err
 	}
 	shardLen := snap.ShardLen()
 
-	app, err := trace.ByName(*appName)
+	app, err := trace.ByName(appName)
 	if err != nil {
 		return err
 	}
-	hw := hwspace.Baseline()
-	if *arch != "" {
-		var ix hwspace.Indices
-		parts := strings.Split(*arch, ",")
-		if len(parts) != hwspace.NumParams {
-			return fmt.Errorf("-arch needs %d indices, got %d", hwspace.NumParams, len(parts))
-		}
-		for i, p := range parts {
-			v, err := strconv.Atoi(strings.TrimSpace(p))
-			if err != nil {
-				return err
-			}
-			ix[i] = v
-		}
-		hw = hwspace.FromIndices(ix)
+	hw, err := parseArch(arch)
+	if err != nil {
+		return err
 	}
 
-	p := profile.Stream(app.ShardStream(*shard, shardLen), app.Name, *shard)
+	p := profile.Stream(app.ShardStream(shard, shardLen), app.Name, shard)
 	pred, err := snap.PredictShard(p.X, hw)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s shard %d on %s\n", app.Name, *shard, hw)
+	if asJSON {
+		return json.NewEncoder(os.Stdout).Encode(hsmodel.PredictResponse{CPI: pred, Shards: 1})
+	}
+	fmt.Printf("%s shard %d on %s\n", app.Name, shard, hw)
 	fmt.Printf("  predicted CPI: %.4f\n", pred)
-	if *check {
-		col := &core.Collector{ShardLen: shardLen}
-		truth := col.CollectPairs([]*trace.App{app}, []int{0}, []int{*shard}, []hwspace.Config{hw})[0].CPI
+	if check {
+		col := &hsmodel.Collector{ShardLen: shardLen}
+		truth := col.CollectPairs([]*trace.App{app}, []int{0}, []int{shard}, []hsmodel.Config{hw})[0].CPI
 		errPct := 100 * (pred - truth) / truth
 		fmt.Printf("  simulated CPI: %.4f (prediction error %+.1f%%)\n", truth, errPct)
 	}
+	return nil
+}
+
+func cmdModel(args []string) error {
+	fs := flag.NewFlagSet("model", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "trained model path")
+	asJSON := fs.Bool("json", false, "emit the wire-schema ModelInfo (errors as ErrorResponse)")
+	fs.Parse(args)
+
+	snap, err := hsmodel.LoadSnapshot(*modelPath)
+	if err != nil {
+		if *asJSON {
+			json.NewEncoder(os.Stdout).Encode(hsmodel.ErrorResponse{Error: err.Error()})
+			os.Exit(1)
+		}
+		return err
+	}
+	m := snap.Model()
+	info := hsmodel.ModelInfo{
+		Trained:     true,
+		Spec:        m.Spec.String(),
+		Terms:       len(m.Coef),
+		Rung:        snap.Rung().String(),
+		TrainedRows: snap.TrainedRows(),
+		ShardLen:    snap.ShardLen(),
+	}
+	if *asJSON {
+		return json.NewEncoder(os.Stdout).Encode(info)
+	}
+	fmt.Printf("model %s\n", *modelPath)
+	fmt.Printf("  rung:         %s\n", info.Rung)
+	fmt.Printf("  trained rows: %d\n", info.TrainedRows)
+	fmt.Printf("  shard length: %d\n", info.ShardLen)
+	fmt.Printf("  terms:        %d\n", info.Terms)
+	fmt.Printf("  spec:         %s\n", info.Spec)
 	return nil
 }

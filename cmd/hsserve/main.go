@@ -1,0 +1,264 @@
+// Command hsserve is the HTTP prediction service: it serves single-shard and
+// whole-application CPI predictions from a trained snapshot, coalesces
+// concurrent predictions into shared model passes, absorbs new profiles into
+// the trainer's store, and exposes Prometheus metrics — the serving half of
+// the paper's always-available update protocol.
+//
+//	hsserve -model model.json                   serve a persisted snapshot
+//	hsserve -bootstrap -samples 40 -apps 3      train in-process, then serve
+//	hsserve -selfcheck                          one-process smoke test (CI)
+//
+// SIGHUP hot-reloads the snapshot from -model without dropping requests;
+// SIGINT/SIGTERM shut down gracefully, draining in-flight batches.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hsmodel/internal/serve"
+	"hsmodel/internal/trace"
+	"hsmodel/pkg/hsmodel"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelPath := flag.String("model", "", "snapshot file to serve (reloaded on SIGHUP)")
+	bootstrap := flag.Bool("bootstrap", false, "collect samples and train a model before serving")
+	samples := flag.Int("samples", 40, "bootstrap: (shard, architecture) samples per application")
+	apps := flag.Int("apps", 3, "bootstrap: number of SPEC2006 applications to profile")
+	pop := flag.Int("pop", 24, "bootstrap: genetic population size")
+	gens := flag.Int("gens", 8, "bootstrap: genetic generations")
+	seed := flag.Uint64("seed", 1, "bootstrap: random seed")
+	shardLen := flag.Int("shardlen", 50_000, "bootstrap: shard length in instructions")
+	maxBatch := flag.Int("max-batch", 32, "predictions coalesced into one model pass")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "batcher wait to fill a batch")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
+	selfcheck := flag.Bool("selfcheck", false, "bootstrap a tiny model, exercise the API over loopback, exit")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "hsserve: ", log.LstdFlags)
+	if *selfcheck {
+		if err := runSelfcheck(logger); err != nil {
+			logger.Fatalf("selfcheck FAILED: %v", err)
+		}
+		logger.Println("selfcheck passed")
+		return
+	}
+
+	tr := hsmodel.New(nil, hsmodel.WithSeed(*seed), hsmodel.WithShardLen(*shardLen))
+	if *bootstrap {
+		if err := bootstrapTrain(tr, *apps, *samples, *pop, *gens, *seed, *shardLen, logger); err != nil {
+			logger.Fatal(err)
+		}
+	}
+
+	srv, err := serve.New(serve.Config{
+		Trainer:        tr,
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+		RequestTimeout: *timeout,
+		ModelPath:      *modelPath,
+		Logger:         logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *modelPath != "" {
+		// Initial load uses the same guarded path as SIGHUP: a bad file is
+		// reported and the server starts (untrained unless bootstrapped),
+		// ready for a corrected file and another SIGHUP.
+		if err := srv.Reload(); err != nil && !*bootstrap {
+			logger.Printf("serving without a model until reload succeeds: %v", err)
+		}
+	}
+	if tr.Snapshot().Model() == nil {
+		logger.Println("no model yet: predictions answer 503 until /v1/samples+update, -model reload, or -bootstrap")
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Printf("listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case err := <-errc:
+			logger.Fatal(err)
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				if err := srv.Reload(); err != nil {
+					logger.Printf("SIGHUP reload failed, serving previous model: %v", err)
+				}
+				continue
+			}
+			logger.Printf("%s: draining...", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			if err := hs.Shutdown(ctx); err != nil {
+				logger.Printf("shutdown: %v", err)
+			}
+			cancel()
+			srv.Close() // answer everything the batcher accepted
+			logger.Println("drained, bye")
+			return
+		}
+	}
+}
+
+// bootstrapTrain collects simulated sparse profiles and trains the serving
+// model in-process, so hsserve can run without a model file.
+func bootstrapTrain(tr *hsmodel.Trainer, nApps, samples, pop, gens int, seed uint64, shardLen int, logger *log.Logger) error {
+	all := trace.SPEC2006()
+	if nApps <= 0 || nApps > len(all) {
+		nApps = len(all)
+	}
+	col := &hsmodel.Collector{ShardLen: shardLen}
+	logger.Printf("bootstrap: collecting %d samples/app from %d applications...", samples, nApps)
+	tr.SetSamples(col.Collect(all[:nApps], samples, seed))
+	tr.Search = hsmodel.SearchParams{PopulationSize: pop, Generations: gens, Seed: seed}
+	logger.Printf("bootstrap: training (pop %d, %d generations)...", pop, gens)
+	start := time.Now()
+	if err := tr.Train(context.Background()); err != nil {
+		return fmt.Errorf("bootstrap training failed: %w", err)
+	}
+	snap := tr.Snapshot()
+	logger.Printf("bootstrap: trained on %d rows in %s, spec %s",
+		snap.TrainedRows(), time.Since(start).Round(time.Millisecond), snap.Model().Spec)
+	return nil
+}
+
+// runSelfcheck is the CI smoke test: bootstrap a tiny model, serve it on a
+// random loopback port, then drive the API as a real HTTP client — one
+// predict, one coalescing batch, a samples POST, and a metrics scrape — and
+// fail on any non-200 or inconsistent answer.
+func runSelfcheck(logger *log.Logger) error {
+	tr := hsmodel.New(nil, hsmodel.WithSeed(7), hsmodel.WithShardLen(20_000))
+	if err := bootstrapTrain(tr, 3, 40, 8, 2, 7, 20_000, logger); err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{Trainer: tr, MaxWait: 5 * time.Millisecond, Logger: logger})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		hs.Shutdown(ctx)
+		cancel()
+		srv.Close()
+	}()
+
+	// A real profile from the trainer's store doubles as the request payload
+	// and the expected-value oracle.
+	sample := tr.Samples()[0]
+	wire := hsmodel.SampleToWire(sample)
+	want, err := tr.Snapshot().PredictShard(sample.X, sample.HW)
+	if err != nil {
+		return err
+	}
+
+	// One single-shard predict.
+	var pr hsmodel.PredictResponse
+	req := hsmodel.PredictRequest{X: wire.X, Config: wire.Config}
+	if err := postJSON(base+"/v1/predict", req, &pr); err != nil {
+		return fmt.Errorf("predict: %w", err)
+	}
+	if pr.CPI != want {
+		return fmt.Errorf("predict: served CPI %v differs from direct snapshot prediction %v", pr.CPI, want)
+	}
+	logger.Printf("predict ok: cpi %.4f", pr.CPI)
+
+	// One batch: every item must come back error-free with the oracle value.
+	const items = 16
+	batch := hsmodel.BatchPredictRequest{}
+	for i := 0; i < items; i++ {
+		batch.Requests = append(batch.Requests, req)
+	}
+	var br hsmodel.BatchPredictResponse
+	if err := postJSON(base+"/v1/predict:batch", batch, &br); err != nil {
+		return fmt.Errorf("predict:batch: %w", err)
+	}
+	if len(br.Results) != items {
+		return fmt.Errorf("predict:batch: %d results for %d requests", len(br.Results), items)
+	}
+	for i, item := range br.Results {
+		if item.Error != "" || item.CPI != want {
+			return fmt.Errorf("predict:batch item %d: cpi %v error %q", i, item.CPI, item.Error)
+		}
+	}
+	logger.Printf("batch ok: %d items, mean coalesced batch %.1f", items, srv.BatchMean())
+
+	// Absorb one sample (no async update — keep the check fast).
+	var sr hsmodel.SamplesResponse
+	if err := postJSON(base+"/v1/samples", hsmodel.SamplesRequest{Samples: []hsmodel.SampleWire{wire}}, &sr); err != nil {
+		return fmt.Errorf("samples: %w", err)
+	}
+	if sr.Accepted != 1 {
+		return fmt.Errorf("samples: accepted %d, want 1", sr.Accepted)
+	}
+
+	// The metrics page must reflect what we just did.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	for _, marker := range []string{
+		`hsserve_requests_total{endpoint="predict",code="200"} 1`,
+		`hsserve_requests_total{endpoint="predict_batch",code="200"} 1`,
+		`hsserve_model_trained 1`,
+		`hsserve_batch_size_count`,
+	} {
+		if !strings.Contains(string(page), marker) {
+			return fmt.Errorf("metrics page missing %q", marker)
+		}
+	}
+	logger.Println("metrics ok")
+	return nil
+}
+
+// postJSON POSTs v and decodes the response into out, failing on non-200.
+func postJSON(url string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e hsmodel.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

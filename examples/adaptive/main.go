@@ -19,20 +19,18 @@ import (
 	"fmt"
 	"log"
 
-	"hsmodel/internal/core"
-	"hsmodel/internal/genetic"
-	"hsmodel/internal/hwspace"
 	"hsmodel/internal/trace"
+	"hsmodel/pkg/hsmodel"
 )
 
 func main() {
 	ctx := context.Background()
 	// The reconfigurable core's operating points.
-	points := map[string]hwspace.Config{
-		"throughput":  hwspace.FromIndices(hwspace.Indices{3, 4, 1, 3, 2, 2, 3, 1, 3, 1, 2, 1, 3}),
-		"balanced":    hwspace.Baseline(),
-		"cache-heavy": hwspace.FromIndices(hwspace.Indices{2, 2, 3, 2, 3, 3, 4, 0, 1, 0, 1, 0, 1}),
-		"narrow-eco":  hwspace.FromIndices(hwspace.Indices{0, 0, 1, 1, 1, 1, 1, 2, 0, 0, 0, 0, 0}),
+	points := map[string]hsmodel.Config{
+		"throughput":  hsmodel.ConfigFromIndices(hsmodel.Indices{3, 4, 1, 3, 2, 2, 3, 1, 3, 1, 2, 1, 3}),
+		"balanced":    hsmodel.Baseline(),
+		"cache-heavy": hsmodel.ConfigFromIndices(hsmodel.Indices{2, 2, 3, 2, 3, 3, 4, 0, 1, 0, 1, 0, 1}),
+		"narrow-eco":  hsmodel.ConfigFromIndices(hsmodel.Indices{0, 0, 1, 1, 1, 1, 1, 2, 0, 0, 0, 0, 0}),
 	}
 
 	// Bootstrap the model from six applications (gemsFDTD withheld).
@@ -46,10 +44,13 @@ func main() {
 		}
 		boot = append(boot, a)
 	}
-	col := &core.Collector{ShardLen: 50_000, ShardPool: 40}
+	col := &hsmodel.Collector{ShardLen: 50_000, ShardPool: 40}
 	fmt.Println("bootstrapping model without gemsFDTD...")
-	m := core.NewTrainer(col.Collect(boot, 90, 5))
-	m.Search = genetic.Params{PopulationSize: 28, Generations: 8, Seed: 21}
+	m := hsmodel.New(col.Collect(boot, 90, 5),
+		hsmodel.WithSeed(21),
+		hsmodel.WithPopulation(28),
+		hsmodel.WithGenerations(8),
+	)
 	if err := m.Train(ctx); err != nil {
 		log.Fatal(err)
 	}
@@ -59,10 +60,10 @@ func main() {
 	// balanced configuration.
 	fmt.Println("\ngemsFDTD arrives; adapting per shard:")
 	var adaptiveCycles, staticCycles float64
-	var accrued []core.Sample
+	var accrued []hsmodel.Sample
 	for shard := 0; shard < 14; shard++ {
 		x := col.CollectPairs(apps, []int{gemsID}, []int{shard},
-			[]hwspace.Config{hwspace.Baseline()})[0].X
+			[]hsmodel.Config{hsmodel.Baseline()})[0].X
 
 		bestName, bestPred := "", 0.0
 		for name, cfg := range points {
@@ -75,9 +76,9 @@ func main() {
 			}
 		}
 		chosen := col.CollectPairs(apps, []int{gemsID}, []int{shard},
-			[]hwspace.Config{points[bestName]})[0]
+			[]hsmodel.Config{points[bestName]})[0]
 		static := col.CollectPairs(apps, []int{gemsID}, []int{shard},
-			[]hwspace.Config{points["balanced"]})[0]
+			[]hsmodel.Config{points["balanced"]})[0]
 		adaptiveCycles += chosen.CPI
 		staticCycles += static.CPI
 		fmt.Printf("  shard %2d -> %-11s predicted %.2f, actual %.2f (static %.2f)\n",
@@ -87,7 +88,7 @@ func main() {
 		// re-specify (10+ accrued profiles and still inaccurate).
 		accrued = append(accrued, chosen)
 		if len(accrued) == 12 {
-			d, err := m.Perturb(ctx, accrued, core.UpdatePolicy{ErrThreshold: 0.08, MinProfiles: 10})
+			d, err := m.Perturb(ctx, accrued, hsmodel.UpdatePolicy{ErrThreshold: 0.08, MinProfiles: 10})
 			if err != nil {
 				log.Fatal(err)
 			}

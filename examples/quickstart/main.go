@@ -1,6 +1,7 @@
 // Quickstart: collect sparse hardware-software profiles, train an inferred
 // performance model with the genetic heuristic, and predict the performance
-// of an unseen (shard, architecture) pair.
+// of an unseen (shard, architecture) pair — all through the public
+// pkg/hsmodel facade.
 //
 //	go run ./examples/quickstart
 package main
@@ -10,12 +11,8 @@ import (
 	"fmt"
 	"log"
 
-	"hsmodel/internal/core"
-	"hsmodel/internal/genetic"
-	"hsmodel/internal/hwspace"
-	"hsmodel/internal/profile"
-	"hsmodel/internal/rng"
 	"hsmodel/internal/trace"
+	"hsmodel/pkg/hsmodel"
 )
 
 func main() {
@@ -25,14 +22,17 @@ func main() {
 
 	// 2. Sparse profiling: 80 random (shard, architecture) pairs per
 	//    application — a small fraction of the integrated space.
-	collector := &core.Collector{ShardLen: 50_000, ShardPool: 40}
+	collector := &hsmodel.Collector{ShardLen: 50_000, ShardPool: 40}
 	fmt.Println("collecting sparse profiles (7 apps x 80 pairs)...")
 	samples := collector.Collect(apps, 80, 42)
 
 	// 3. Automated modeling: the genetic search chooses variables,
 	//    transformations, and interactions.
-	modeler := core.NewTrainer(samples)
-	modeler.Search = genetic.Params{PopulationSize: 30, Generations: 8, Seed: 7}
+	modeler := hsmodel.New(samples,
+		hsmodel.WithSeed(7),
+		hsmodel.WithPopulation(30),
+		hsmodel.WithGenerations(8),
+	)
 	fmt.Println("training (genetic search over model specifications)...")
 	if err := modeler.Train(ctx); err != nil {
 		log.Fatal(err)
@@ -41,24 +41,23 @@ func main() {
 	fmt.Printf("converged: fitness %.3f, spec %s\n\n", best.Fitness, best.Spec)
 
 	// 4. Predict an unseen pair and check it against simulation.
-	src := rng.New(99)
-	hw := hwspace.FromIndices(hwspace.Sample(src))
+	hw := hsmodel.RandomConfig(99)
 	unseen := collector.Collect(apps[0:1], 1, 1234)[0]
 	pred, err := modeler.PredictShard(unseen.X, hw)
 	if err != nil {
 		log.Fatal(err)
 	}
-	truth := collector.CollectPairs(apps, []int{0}, []int{unseen.Shard}, []hwspace.Config{hw})[0].CPI
+	truth := collector.CollectPairs(apps, []int{0}, []int{unseen.Shard}, []hsmodel.Config{hw})[0].CPI
 	fmt.Printf("astar shard %d on %s\n", unseen.Shard, hw)
 	fmt.Printf("  predicted CPI %.3f, simulated CPI %.3f (error %.1f%%)\n",
 		pred, truth, 100*abs(pred-truth)/truth)
 
 	// 5. Whole-application prediction aggregates shard predictions.
-	var shards []core.Sample
+	var shards []hsmodel.Sample
 	for s := 0; s < 10; s++ {
-		shards = append(shards, collector.CollectPairs(apps, []int{2}, []int{s}, []hwspace.Config{hw})[0])
+		shards = append(shards, collector.CollectPairs(apps, []int{2}, []int{s}, []hsmodel.Config{hw})[0])
 	}
-	var xs []profile.Characteristics
+	var xs []hsmodel.Characteristics
 	var truthSum float64
 	for _, s := range shards {
 		xs = append(xs, s.X)

@@ -108,3 +108,68 @@ func TestServeWhileTrain(t *testing.T) {
 		t.Error("healthy retrains never published a new snapshot")
 	}
 }
+
+// TestAddSamplesWhileUpdate is the acceptance test for the non-blocking
+// sample-store contract: AddSamples called concurrently with an in-flight
+// Update must be safe (run under -race via make ci) and must not block until
+// the training run completes — a training run captures its evaluator at
+// start and holds no lock during the search. Samples added mid-run take
+// effect at the next run.
+func TestAddSamplesWhileUpdate(t *testing.T) {
+	m, valid := trainSmallModeler(t)
+	before := m.NumSamples()
+
+	// A slow evaluator stretches the search so the adders demonstrably
+	// overlap it; OnGeneration gates them until the run has captured its
+	// evaluator, so every added sample provably lands mid-run.
+	inj := &faultinject.Evaluator{Delay: 200 * time.Microsecond}
+	m.WrapEvaluator = func(inner genetic.Evaluator) genetic.Evaluator {
+		inj.Inner = inner
+		return inj
+	}
+	searching := make(chan struct{})
+	var once sync.Once
+	m.Search = genetic.Params{
+		PopulationSize: 12, Generations: 4, Seed: 77,
+		OnGeneration: func(genetic.GenStats) { once.Do(func() { close(searching) }) },
+	}
+
+	training := make(chan error, 1)
+	go func() { training <- m.Update(context.Background()) }()
+	<-searching
+
+	// Feed samples and read store/model state while the search runs. Every
+	// AddSamples must return promptly even though Update is in flight.
+	const adders, batches = 4, 8
+	var wg sync.WaitGroup
+	for g := 0; g < adders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				m.AddSamples(valid[(g+i)%len(valid) : (g+i)%len(valid)+1])
+				m.NumSamples()
+				m.Snapshot().PredictShard(valid[0].X, valid[0].HW)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := <-training; err != nil {
+		t.Fatalf("update failed: %v", err)
+	}
+
+	if got, want := m.NumSamples(), before+adders*batches; got != want {
+		t.Errorf("store has %d samples, want %d", got, want)
+	}
+	// The samples landed mid-run, so the published model was fitted on the
+	// pre-update store; the next run picks them up.
+	if rows := m.Snapshot().TrainedRows(); rows != before {
+		t.Errorf("in-flight update trained on %d rows, want the captured %d", rows, before)
+	}
+	if err := m.Update(context.Background()); err != nil {
+		t.Fatalf("follow-up update failed: %v", err)
+	}
+	if rows := m.Snapshot().TrainedRows(); rows != before+adders*batches {
+		t.Errorf("follow-up update trained on %d rows, want %d", rows, before+adders*batches)
+	}
+}

@@ -175,17 +175,24 @@ func (m *Trainer) TrainResilient(ctx context.Context, r Resilience) (rep TrainRe
 }
 
 // trainStepwise is the stepwise rung: same featurized evaluator and final-fit
-// protocol as train, but driven by the cheap forward stepwise search.
+// protocol as train, but driven by the cheap forward stepwise search. Like
+// train, it serializes on trainMu and holds mu only to capture the evaluator
+// and to publish, so sample mutation and predictions proceed during the
+// search.
 func (m *Trainer) trainStepwise(ctx context.Context, budget int) error {
+	m.trainMu.Lock()
+	defer m.trainMu.Unlock()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if len(m.samples) == 0 {
+		m.mu.Unlock()
 		return ErrNoSamples
 	}
 	base, err := m.cachedEvaluator()
 	if err != nil {
+		m.mu.Unlock()
 		return fmt.Errorf("core: featurizing samples: %w", err)
 	}
+	m.mu.Unlock()
 	var ev genetic.Evaluator = base
 	if m.WrapEvaluator != nil {
 		ev = m.WrapEvaluator(ev)
@@ -198,7 +205,9 @@ func (m *Trainer) trainStepwise(ctx context.Context, budget int) error {
 	if err != nil {
 		return fmt.Errorf("core: final fit failed: %w", err)
 	}
+	m.mu.Lock()
 	m.population = res.Population
+	m.mu.Unlock()
 	m.publish(model, RungStepwise, base.fz.NumRows())
 	return nil
 }

@@ -66,6 +66,16 @@ func (f FitnessConfig) withDefaults() FitnessConfig {
 // mutated concurrently with a training run. Sample mutation goes through
 // AddSamples/SetSamples, which invalidate the cached featurized evaluator so
 // a subsequent Update never trains against stale basis columns.
+//
+// Concurrency contract: AddSamples, SetSamples, Samples, NumSamples,
+// Snapshot, and every prediction method are safe to call while a Train,
+// Update, or TrainResilient run is in flight. Training runs serialize among
+// themselves on an internal mutex, but they do NOT hold the sample-store
+// lock while searching: a training run captures an immutable featurized
+// evaluator at its start, searches against it lock-free, and re-acquires the
+// lock only to publish results. Samples added mid-run therefore do not block
+// behind the search and take effect at the next Train or Update — the
+// streaming-profiles behavior the serving layer (internal/serve) relies on.
 type Trainer struct {
 	// Search configures the genetic heuristic.
 	Search genetic.Params
@@ -85,6 +95,7 @@ type Trainer struct {
 	// 0 means DefaultShardLen.
 	ShardLen int
 
+	trainMu    sync.Mutex // serializes training runs; never held with mu below
 	mu         sync.Mutex // guards samples, version, cache, population, history
 	samples    []Sample
 	version    uint64 // bumped by every sample mutation
@@ -333,23 +344,29 @@ func (m *Trainer) SumOfMedianErrors(fitness float64) float64 {
 // failed or cancelled Train never replaces the published snapshot, so the
 // trainer keeps serving its last-good model. See TrainResilient for the
 // variant that degrades through fallbacks instead of returning the error.
+//
+// Train is safe to call concurrently with AddSamples and predictions (see
+// the Trainer type comment); concurrent training runs serialize.
 func (m *Trainer) Train(ctx context.Context) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.trainMu.Lock()
+	defer m.trainMu.Unlock()
 	return m.train(ctx, nil)
 }
 
 // Update re-specifies and refits the model after the sample store changed,
 // warm-starting the search from the previous population (Section 3.3: "we
 // invoke a heuristic to re-specify and perform a weighted fit of the
-// model"). Update on an untrained trainer is equivalent to Train.
+// model"). Update on an untrained trainer is equivalent to Train. Like
+// Train, Update does not block concurrent AddSamples or predictions.
 func (m *Trainer) Update(ctx context.Context) error {
+	m.trainMu.Lock()
+	defer m.trainMu.Unlock()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	var seeds []regress.Spec
 	for _, ind := range m.population {
 		seeds = append(seeds, ind.Spec)
 	}
+	m.mu.Unlock()
 	return m.train(ctx, seeds)
 }
 
@@ -376,21 +393,30 @@ func (m *Trainer) cachedEvaluator() (*evaluator, error) {
 	return ev, nil
 }
 
-// publish stores a freshly fitted model as the served snapshot. Callers must
-// hold m.mu.
+// publish stores a freshly fitted model as the served snapshot. The store is
+// atomic, so no lock is required.
 func (m *Trainer) publish(model *regress.Model, rung Rung, rows int) {
 	m.snap.Store(NewSnapshot(model, m.ShardLen, rung, rows))
 }
 
-// train is the shared genetic-rung body. Callers must hold m.mu.
+// train is the shared genetic-rung body. Callers must hold m.trainMu (and
+// must NOT hold m.mu): the evaluator is captured under m.mu at the start,
+// the search runs without any lock, and results are published under m.mu at
+// the end, so sample mutation and predictions proceed during the search.
 func (m *Trainer) train(ctx context.Context, initial []regress.Spec) error {
+	m.mu.Lock()
 	if len(m.samples) == 0 {
+		m.mu.Unlock()
 		return ErrNoSamples
 	}
 	base, err := m.cachedEvaluator()
 	if err != nil {
+		m.mu.Unlock()
 		return fmt.Errorf("core: featurizing samples: %w", err)
 	}
+	m.history = nil
+	m.mu.Unlock()
+
 	var ev genetic.Evaluator = base
 	if m.WrapEvaluator != nil {
 		ev = m.WrapEvaluator(ev)
@@ -398,16 +424,20 @@ func (m *Trainer) train(ctx context.Context, initial []regress.Spec) error {
 
 	params := m.Search
 	params.Initial = initial
-	m.history = nil
+	userOnGen := m.Search.OnGeneration
 	params.OnGeneration = func(gs genetic.GenStats) {
+		m.mu.Lock()
 		m.history = append(m.history, gs)
-		if m.Search.OnGeneration != nil {
-			m.Search.OnGeneration(gs)
+		m.mu.Unlock()
+		if userOnGen != nil {
+			userOnGen(gs)
 		}
 	}
 	res, serr := genetic.Search(ctx, NumVars, ev, params)
 	// Even a partial population is kept: it warm-starts the next attempt.
+	m.mu.Lock()
 	m.population = res.Population
+	m.mu.Unlock()
 	if serr != nil {
 		return fmt.Errorf("core: search failed: %w", serr)
 	}

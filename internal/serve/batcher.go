@@ -1,0 +1,180 @@
+// Request coalescing: concurrent single-shard predictions are gathered off a
+// bounded queue into one pass over the served snapshot (Concorde-style
+// micro-batching, arXiv:2503.23076). One worker drains the queue; each flush
+// loads the snapshot exactly once, so every prediction in a batch is
+// answered by the same model version, and the per-prediction result is
+// bit-identical to a direct Snapshot.PredictShard call — the batcher only
+// amortizes queueing and snapshot loads, it never changes the arithmetic.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"hsmodel/internal/core"
+	"hsmodel/internal/hwspace"
+	"hsmodel/internal/profile"
+)
+
+// ErrClosed is returned to predictions submitted after shutdown began.
+var ErrClosed = errors.New("serve: server is shutting down")
+
+type predictResult struct {
+	cpi float64
+	err error
+}
+
+type predictJob struct {
+	x    profile.Characteristics
+	hw   hwspace.Config
+	done chan predictResult // buffered(1): the worker never blocks on delivery
+}
+
+// batcher owns the bounded queue and the single gather/flush worker.
+//
+// Shutdown protocol (the "lose zero in-flight requests" guarantee): Close
+// marks the batcher closed so new predictions are rejected with ErrClosed,
+// waits for submitters already past the closed-check to finish enqueueing,
+// then closes the queue; the worker drains every queued job — each gets a
+// real prediction — before exiting.
+type batcher struct {
+	queue    chan *predictJob
+	maxBatch int
+	maxWait  time.Duration
+	snap     func() *core.Snapshot
+	observe  func(batchSize int)
+
+	mu          sync.Mutex
+	closed      bool
+	inflight    int  // submitters between the closed-check and the enqueue
+	queueClosed bool // the queue channel has been closed
+
+	workerDone chan struct{}
+}
+
+func newBatcher(snap func() *core.Snapshot, maxBatch int, maxWait time.Duration, queueDepth int, observe func(int)) *batcher {
+	if maxBatch <= 0 {
+		maxBatch = 32
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Millisecond
+	}
+	if queueDepth <= 0 {
+		queueDepth = 4 * maxBatch
+	}
+	b := &batcher{
+		queue:      make(chan *predictJob, queueDepth),
+		maxBatch:   maxBatch,
+		maxWait:    maxWait,
+		snap:       snap,
+		observe:    observe,
+		workerDone: make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// predict submits one shard prediction and waits for its result. A request
+// that was accepted into the queue always receives a result (even during
+// shutdown); ctx cancellation abandons the wait but the buffered done
+// channel means the worker never blocks on an abandoned job.
+func (b *batcher) predict(ctx context.Context, x profile.Characteristics, hw hwspace.Config) (float64, error) {
+	job := &predictJob{x: x, hw: hw, done: make(chan predictResult, 1)}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, ErrClosed
+	}
+	b.inflight++
+	b.mu.Unlock()
+
+	// The enqueue may block on a full queue; the worker keeps draining, and
+	// Close cannot close the channel while inflight > 0.
+	select {
+	case b.queue <- job:
+		b.exitSubmit()
+	case <-ctx.Done():
+		b.exitSubmit()
+		return 0, ctx.Err()
+	}
+
+	select {
+	case r := <-job.done:
+		return r.cpi, r.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// exitSubmit ends a submission critical section, completing a pending Close
+// once the last submitter is out.
+func (b *batcher) exitSubmit() {
+	b.mu.Lock()
+	b.inflight--
+	if b.closed && b.inflight == 0 && !b.queueClosed {
+		b.queueClosed = true
+		close(b.queue)
+	}
+	b.mu.Unlock()
+}
+
+// Close drains the batcher: it rejects new submissions, lets in-flight ones
+// enqueue, answers everything queued, and returns once the worker has
+// exited. Safe to call more than once.
+func (b *batcher) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		if b.inflight == 0 && !b.queueClosed {
+			b.queueClosed = true
+			close(b.queue)
+		}
+	}
+	b.mu.Unlock()
+	<-b.workerDone
+}
+
+// run is the worker: take one job, gather more up to maxBatch/maxWait, then
+// answer the whole batch against a single snapshot load.
+func (b *batcher) run() {
+	defer close(b.workerDone)
+	for {
+		job, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch := b.gather(job)
+		snap := b.snap()
+		for _, j := range batch {
+			cpi, err := snap.PredictShard(j.x, j.hw)
+			j.done <- predictResult{cpi, err}
+		}
+		if b.observe != nil {
+			b.observe(len(batch))
+		}
+	}
+}
+
+// gather collects follow-on jobs for first's batch until the batch is full,
+// the wait window expires, or the queue closes.
+func (b *batcher) gather(first *predictJob) []*predictJob {
+	batch := make([]*predictJob, 1, b.maxBatch)
+	batch[0] = first
+	timer := time.NewTimer(b.maxWait)
+	defer timer.Stop()
+	for len(batch) < b.maxBatch {
+		select {
+		case j, ok := <-b.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}

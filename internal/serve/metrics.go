@@ -1,0 +1,215 @@
+// Metrics: request counters, latency histograms, the batch-size
+// distribution, and snapshot lifecycle gauges, exposed in Prometheus text
+// exposition format on GET /metrics — standard library only. The fixed
+// bucket layouts keep observation lock-free (atomic bucket counters plus a
+// CAS-accumulated sum); only the requests-per-(endpoint, code) map takes a
+// mutex, and only for a map increment.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, 100µs to 10s.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// batchBuckets bound the coalesced-batch-size distribution.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// histogram is a fixed-bucket Prometheus-style histogram safe for
+// concurrent observation.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	// First bound >= v; equality lands in that bucket (le semantics).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (h *histogram) mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load()) / float64(n)
+}
+
+// write emits the _bucket/_sum/_count series. labels is either empty or a
+// rendered `name="value"` list without braces.
+func (h *histogram) write(w io.Writer, name, labels string) {
+	sep := func(extra string) string {
+		switch {
+		case labels == "" && extra == "":
+			return ""
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		default:
+			return "{" + labels + "," + extra + "}"
+		}
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep(`le="`+formatBound(b)+`"`), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep(`le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, sep(""), math.Float64frombits(h.sum.Load()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, sep(""), h.count.Load())
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// endpoints served, in stable exposition order.
+var endpointNames = []string{"predict", "predict_batch", "samples", "model", "healthz", "metrics"}
+
+// reqKey labels one requests_total series.
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+// metrics aggregates everything GET /metrics exposes.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[reqKey]uint64
+
+	latency   map[string]*histogram // per endpoint
+	batchSize *histogram
+
+	samplesAccepted atomic.Uint64
+	updatesStarted  atomic.Uint64
+	updatesOK       atomic.Uint64
+	updatesFailed   atomic.Uint64
+	reloads         atomic.Uint64
+	reloadErrors    atomic.Uint64
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		requests:  make(map[reqKey]uint64),
+		latency:   make(map[string]*histogram, len(endpointNames)),
+		batchSize: newHistogram(batchBuckets),
+	}
+	for _, e := range endpointNames {
+		m.latency[e] = newHistogram(latencyBuckets)
+	}
+	return m
+}
+
+// observeRequest records one completed request.
+func (m *metrics) observeRequest(endpoint string, code int, seconds float64) {
+	m.mu.Lock()
+	m.requests[reqKey{endpoint, code}]++
+	m.mu.Unlock()
+	if h, ok := m.latency[endpoint]; ok {
+		h.observe(seconds)
+	}
+}
+
+// observeBatch records the size of one coalesced evaluator pass.
+func (m *metrics) observeBatch(n int) { m.batchSize.observe(float64(n)) }
+
+// snapshotState is what the scrape reports about the served model; the
+// server computes it at scrape time.
+type snapshotState struct {
+	version uint64
+	age     time.Duration
+	trained bool
+}
+
+// writeTo renders the full exposition page.
+func (m *metrics) writeTo(w io.Writer, snap snapshotState) {
+	io.WriteString(w, "# HELP hsserve_requests_total HTTP requests served, by endpoint and status code.\n")
+	io.WriteString(w, "# TYPE hsserve_requests_total counter\n")
+	m.mu.Lock()
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	counts := make(map[reqKey]uint64, len(keys))
+	for k, v := range m.requests {
+		counts[k] = v
+	}
+	m.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "hsserve_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, counts[k])
+	}
+
+	io.WriteString(w, "# HELP hsserve_request_duration_seconds Request latency by endpoint.\n")
+	io.WriteString(w, "# TYPE hsserve_request_duration_seconds histogram\n")
+	for _, e := range endpointNames {
+		if m.latency[e].count.Load() == 0 {
+			continue
+		}
+		m.latency[e].write(w, "hsserve_request_duration_seconds", "endpoint=\""+e+"\"")
+	}
+
+	io.WriteString(w, "# HELP hsserve_batch_size Predictions coalesced per evaluator pass.\n")
+	io.WriteString(w, "# TYPE hsserve_batch_size histogram\n")
+	m.batchSize.write(w, "hsserve_batch_size", "")
+
+	io.WriteString(w, "# HELP hsserve_snapshot_version Snapshot publications observed by this server.\n")
+	io.WriteString(w, "# TYPE hsserve_snapshot_version gauge\n")
+	fmt.Fprintf(w, "hsserve_snapshot_version %d\n", snap.version)
+	io.WriteString(w, "# HELP hsserve_snapshot_age_seconds Seconds since the served snapshot changed.\n")
+	io.WriteString(w, "# TYPE hsserve_snapshot_age_seconds gauge\n")
+	fmt.Fprintf(w, "hsserve_snapshot_age_seconds %g\n", snap.age.Seconds())
+	io.WriteString(w, "# HELP hsserve_model_trained Whether a model is being served (1) or not (0).\n")
+	io.WriteString(w, "# TYPE hsserve_model_trained gauge\n")
+	trained := 0
+	if snap.trained {
+		trained = 1
+	}
+	fmt.Fprintf(w, "hsserve_model_trained %d\n", trained)
+
+	io.WriteString(w, "# HELP hsserve_samples_accepted_total Profiles absorbed via POST /v1/samples.\n")
+	io.WriteString(w, "# TYPE hsserve_samples_accepted_total counter\n")
+	fmt.Fprintf(w, "hsserve_samples_accepted_total %d\n", m.samplesAccepted.Load())
+	io.WriteString(w, "# HELP hsserve_updates_total Asynchronous model re-specifications, by result.\n")
+	io.WriteString(w, "# TYPE hsserve_updates_total counter\n")
+	fmt.Fprintf(w, "hsserve_updates_total{result=\"started\"} %d\n", m.updatesStarted.Load())
+	fmt.Fprintf(w, "hsserve_updates_total{result=\"ok\"} %d\n", m.updatesOK.Load())
+	fmt.Fprintf(w, "hsserve_updates_total{result=\"failed\"} %d\n", m.updatesFailed.Load())
+	io.WriteString(w, "# HELP hsserve_snapshot_reloads_total Hot snapshot reloads (SIGHUP), by result.\n")
+	io.WriteString(w, "# TYPE hsserve_snapshot_reloads_total counter\n")
+	fmt.Fprintf(w, "hsserve_snapshot_reloads_total{result=\"ok\"} %d\n", m.reloads.Load())
+	fmt.Fprintf(w, "hsserve_snapshot_reloads_total{result=\"failed\"} %d\n", m.reloadErrors.Load())
+}

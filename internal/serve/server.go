@@ -1,0 +1,401 @@
+// Package serve is the prediction serving subsystem: an HTTP JSON service
+// layered on the lock-free core.Snapshot architecture. It exposes
+//
+//	POST /v1/predict        single-shard and whole-application predictions
+//	POST /v1/predict:batch  many predictions, coalesced across clients by
+//	                        the micro-batcher into shared evaluator passes
+//	POST /v1/samples        absorb new profiles; optionally trigger an
+//	                        asynchronous model re-specification
+//	GET  /v1/model          served-model provenance and fit-path counters
+//	GET  /healthz           liveness (and whether a model is being served)
+//	GET  /metrics           Prometheus text exposition (metrics.go)
+//
+// The wire vocabulary is pkg/hsmodel's wire schema, so the CLI and the
+// server speak the same types. Every handler runs under a per-request
+// timeout; a Server drains its in-flight batches on Close; and the served
+// snapshot can be hot-reloaded from the persistence format (Reload, wired to
+// SIGHUP by cmd/hsserve) — the Trainer guarantees a failed retrain or a
+// rejected reload never replaces the snapshot being served.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hsmodel/internal/core"
+	"hsmodel/pkg/hsmodel"
+)
+
+// Config configures a Server. The zero value of every optional field takes
+// the documented default.
+type Config struct {
+	// Trainer is the model being served (required). It may be untrained, in
+	// which case predictions answer 503 until a model is trained, adopted,
+	// or reloaded.
+	Trainer *core.Trainer
+	// MaxBatch caps the predictions coalesced into one evaluator pass
+	// (default 32).
+	MaxBatch int
+	// MaxWait is how long the batcher waits to fill a batch after the first
+	// request arrives (default 2ms).
+	MaxWait time.Duration
+	// QueueDepth bounds the submit queue (default 4*MaxBatch). A full queue
+	// applies backpressure: submitters block until the worker drains.
+	QueueDepth int
+	// RequestTimeout bounds each request's context (default 5s).
+	RequestTimeout time.Duration
+	// UpdateTimeout bounds asynchronous re-specifications triggered by
+	// POST /v1/samples (default 5m).
+	UpdateTimeout time.Duration
+	// ModelPath, when non-empty, names the snapshot file Reload serves from.
+	ModelPath string
+	// Logger receives serving events (update/reload outcomes); nil discards.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.UpdateTimeout <= 0 {
+		c.UpdateTimeout = 5 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// Server is the HTTP prediction service. Create with New, expose with
+// Handler, and drain with Close after the HTTP listener has shut down.
+type Server struct {
+	cfg     Config
+	trainer *core.Trainer
+	batcher *batcher
+	metrics *metrics
+	mux     *http.ServeMux
+
+	updating atomic.Bool    // one asynchronous Update at a time
+	updateWG sync.WaitGroup // Close waits for the in-flight one
+
+	// Snapshot lifecycle tracking: publications are observed by pointer
+	// identity whenever the server touches the snapshot.
+	snapMu      sync.Mutex
+	snapLast    *core.Snapshot
+	snapVersion uint64
+	snapSince   time.Time
+}
+
+// New builds a Server around cfg.Trainer.
+func New(cfg Config) (*Server, error) {
+	if cfg.Trainer == nil {
+		return nil, errors.New("serve: Config.Trainer is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		trainer:   cfg.Trainer,
+		metrics:   newMetrics(),
+		snapSince: time.Now(),
+	}
+	s.batcher = newBatcher(s.trainer.Snapshot, cfg.MaxBatch, cfg.MaxWait, cfg.QueueDepth, s.metrics.observeBatch)
+	s.observeSnapshot()
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
+	s.mux.HandleFunc("POST /v1/predict:batch", s.instrument("predict_batch", s.handleBatch))
+	s.mux.HandleFunc("POST /v1/samples", s.instrument("samples", s.handleSamples))
+	s.mux.HandleFunc("GET /v1/model", s.instrument("model", s.handleModel))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the server: every prediction already accepted by the batcher
+// is answered and any in-flight asynchronous update completes. Call after
+// the HTTP listener has stopped accepting requests (http.Server.Shutdown),
+// so no handler can race the drain.
+func (s *Server) Close() {
+	s.batcher.Close()
+	s.updateWG.Wait()
+}
+
+// Reload hot-swaps the served snapshot from Config.ModelPath (the v2/v3
+// persistence format). A snapshot that fails validation — the typed
+// core.ErrModel* persistence errors — leaves the served model untouched.
+// cmd/hsserve wires this to SIGHUP.
+func (s *Server) Reload() error {
+	if s.cfg.ModelPath == "" {
+		return errors.New("serve: no model path configured for reload")
+	}
+	snap, err := core.LoadSnapshot(s.cfg.ModelPath)
+	if err != nil {
+		s.metrics.reloadErrors.Add(1)
+		s.cfg.Logger.Printf("serve: snapshot reload rejected: %v", err)
+		return err
+	}
+	s.trainer.Adopt(snap)
+	s.observeSnapshot()
+	s.metrics.reloads.Add(1)
+	s.cfg.Logger.Printf("serve: snapshot reloaded from %s (rung %s, %d rows)",
+		s.cfg.ModelPath, snap.Rung(), snap.TrainedRows())
+	return nil
+}
+
+// observeSnapshot tracks snapshot publications by pointer identity and
+// returns the current version and its publication time.
+func (s *Server) observeSnapshot() (uint64, time.Time, *core.Snapshot) {
+	snap := s.trainer.Snapshot()
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if snap != s.snapLast {
+		s.snapLast = snap
+		s.snapVersion++
+		s.snapSince = time.Now()
+	}
+	return s.snapVersion, s.snapSince, snap
+}
+
+// instrument wraps a handler with the per-request timeout and metrics.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r.WithContext(ctx))
+		s.metrics.observeRequest(name, rec.code, time.Since(start).Seconds())
+	}
+}
+
+// statusRecorder captures the response code for the request counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps an error to its HTTP status and the shared wire
+// ErrorResponse body.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, core.ErrNotTrained):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		code = 499 // client closed request
+	}
+	writeJSON(w, code, hsmodel.ErrorResponse{Error: err.Error()})
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: decoding request: %w", err)
+	}
+	return nil
+}
+
+// predictOne answers one wire PredictRequest: single shards go through the
+// micro-batcher; whole-application queries aggregate over one snapshot load.
+func (s *Server) predictOne(ctx context.Context, req hsmodel.PredictRequest) (hsmodel.PredictResponse, error) {
+	xs, hw, err := req.ShardInputs()
+	if err != nil {
+		return hsmodel.PredictResponse{}, err
+	}
+	if len(xs) == 1 && len(req.Shards) == 0 {
+		cpi, err := s.batcher.predict(ctx, xs[0], hw)
+		if err != nil {
+			return hsmodel.PredictResponse{}, err
+		}
+		return hsmodel.PredictResponse{CPI: cpi, Shards: 1}, nil
+	}
+	cpi, err := s.trainer.Snapshot().PredictApplication(xs, hw)
+	if err != nil {
+		return hsmodel.PredictResponse{}, err
+	}
+	return hsmodel.PredictResponse{CPI: cpi, Shards: len(xs)}, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req hsmodel.PredictRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.predictOne(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req hsmodel.BatchPredictRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, errors.New("serve: batch request has no items"))
+		return
+	}
+	// Submit every item concurrently so the micro-batcher can coalesce them
+	// (and items from other in-flight HTTP requests) into shared passes.
+	results := make([]hsmodel.BatchPredictItem, len(req.Requests))
+	var wg sync.WaitGroup
+	for i, pr := range req.Requests {
+		wg.Add(1)
+		go func(i int, pr hsmodel.PredictRequest) {
+			defer wg.Done()
+			resp, err := s.predictOne(r.Context(), pr)
+			if err != nil {
+				results[i] = hsmodel.BatchPredictItem{Error: err.Error()}
+				return
+			}
+			results[i] = hsmodel.BatchPredictItem{CPI: resp.CPI, Shards: resp.Shards}
+		}(i, pr)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, hsmodel.BatchPredictResponse{Results: results})
+}
+
+func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
+	var req hsmodel.SamplesRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Samples) == 0 {
+		writeError(w, errors.New("serve: samples request has no samples"))
+		return
+	}
+	samples := make([]core.Sample, len(req.Samples))
+	for i, sw := range req.Samples {
+		s, err := sw.ToSample()
+		if err != nil {
+			writeError(w, fmt.Errorf("serve: sample %d: %w", i, err))
+			return
+		}
+		samples[i] = s
+	}
+	// AddSamples is safe (and non-blocking) concurrently with an in-flight
+	// Update: training captures its evaluator at run start, so these rows
+	// take effect at the next re-specification.
+	s.trainer.AddSamples(samples)
+	s.metrics.samplesAccepted.Add(uint64(len(samples)))
+	resp := hsmodel.SamplesResponse{
+		Accepted:     len(samples),
+		TotalSamples: s.trainer.NumSamples(),
+	}
+	if req.Update {
+		resp.UpdateStarted = s.triggerUpdate()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// triggerUpdate starts one asynchronous re-specification if none is in
+// flight. The Trainer's snapshot semantics make the failure path safe: an
+// update that errors leaves the served snapshot untouched.
+func (s *Server) triggerUpdate() bool {
+	if !s.updating.CompareAndSwap(false, true) {
+		return false
+	}
+	s.updateWG.Add(1)
+	s.metrics.updatesStarted.Add(1)
+	go func() {
+		defer s.updateWG.Done()
+		defer s.updating.Store(false)
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.UpdateTimeout)
+		defer cancel()
+		if err := s.trainer.Update(ctx); err != nil {
+			s.metrics.updatesFailed.Add(1)
+			s.cfg.Logger.Printf("serve: async update failed (snapshot retained): %v", err)
+			return
+		}
+		s.metrics.updatesOK.Add(1)
+		s.observeSnapshot()
+	}()
+	return true
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	version, since, snap := s.observeSnapshot()
+	info := hsmodel.ModelInfo{
+		TotalSamples:    s.trainer.NumSamples(),
+		SnapshotVersion: version,
+		SnapshotAgeSec:  time.Since(since).Seconds(),
+	}
+	if m := snap.Model(); m != nil {
+		info.Trained = true
+		info.Spec = m.Spec.String()
+		info.Terms = len(m.Coef)
+		info.Rung = snap.Rung().String()
+		info.TrainedRows = snap.TrainedRows()
+		info.ShardLen = snap.ShardLen()
+	}
+	st := s.trainer.FitPathStats()
+	info.GramFits, info.QRFallbacks = st.GramFits, st.QRFallbacks
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	_, _, snap := s.observeSnapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"trained": snap.Model() != nil,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	version, since, snap := s.observeSnapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writeTo(w, snapshotState{
+		version: version,
+		age:     time.Since(since),
+		trained: snap.Model() != nil,
+	})
+}
+
+// batchMean exposes the observed mean coalesced-batch size (tests and the
+// selfcheck assert coalescing happens).
+func (s *Server) batchMean() float64 { return s.metrics.batchSize.mean() }
+
+// BatchMean is the exported form for cmd/hsserve's selfcheck.
+func (s *Server) BatchMean() float64 { return s.batchMean() }

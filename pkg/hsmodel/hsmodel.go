@@ -1,0 +1,189 @@
+// Package hsmodel is the public API of the inferred hardware-software
+// performance modeling system — the one import path external consumers need.
+//
+// It re-exports the stable surface of the internal engine (profiles, the
+// hardware design space, the trainer, immutable served snapshots, metrics,
+// and the update protocol) as type aliases, so values flow freely between
+// the facade and the serving layer, and replaces struct-field configuration
+// with functional options:
+//
+//	samples := collector.Collect(apps, 120, 1)
+//	m := hsmodel.New(samples,
+//	    hsmodel.WithSeed(7),
+//	    hsmodel.WithGenerations(12),
+//	    hsmodel.WithPopulation(36),
+//	)
+//	if err := m.Train(ctx); err != nil { ... }
+//	cpi, err := m.PredictShard(x, hsmodel.Baseline())
+//
+// The wire schema spoken by the hsserve HTTP service and the hsinfer CLI
+// lives in wire.go; everything here is process-local API.
+package hsmodel
+
+import (
+	"hsmodel/internal/core"
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/hwspace"
+	"hsmodel/internal/profile"
+	"hsmodel/internal/regress"
+	"hsmodel/internal/rng"
+)
+
+// Core modeling types, aliased so facade and internal values interchange.
+type (
+	// Trainer owns the sparse profile store and the training machinery; it
+	// publishes immutable Snapshots and answers lock-free predictions. See
+	// the type's method set for the full contract (AddSamples and
+	// predictions are safe concurrently with an in-flight Train/Update).
+	Trainer = core.Trainer
+	// Snapshot is an immutable fitted model: the unit of serving and of
+	// persistence (Save/LoadSnapshot).
+	Snapshot = core.Snapshot
+	// Sample is one sparse profile: shard characteristics, the architecture
+	// it ran on, and the measured CPI.
+	Sample = core.Sample
+	// Characteristics holds the thirteen Table 1 software measures.
+	Characteristics = profile.Characteristics
+	// Config is one fully specified microarchitecture (Table 2).
+	Config = hwspace.Config
+	// Indices locates a Config as per-parameter discrete level indices.
+	Indices = hwspace.Indices
+	// Collector produces sparse profiles by simulating shards on sampled
+	// architectures.
+	Collector = core.Collector
+	// FitnessConfig tunes the per-application fitness splits (Section 3.3).
+	FitnessConfig = core.FitnessConfig
+	// SearchParams configures the genetic model search.
+	SearchParams = genetic.Params
+	// GenStats summarizes one search generation (Figure 5 convergence).
+	GenStats = genetic.GenStats
+	// Metrics summarizes predictive accuracy the way the paper reports it.
+	Metrics = regress.Metrics
+	// UpdatePolicy governs the inductive update protocol (Sections 3.2-3.3).
+	UpdatePolicy = core.UpdatePolicy
+	// Decision reports what the update protocol concluded.
+	Decision = core.Decision
+	// Resilience configures the degradation ladder of TrainResilient.
+	Resilience = core.Resilience
+	// TrainReport records which ladder rung produced the served model.
+	TrainReport = core.TrainReport
+	// Rung identifies a degradation-ladder level.
+	Rung = core.Rung
+)
+
+// Dimensions of the integrated space.
+const (
+	// NumVars is the integrated variable count (13 software + 13 hardware).
+	NumVars = core.NumVars
+	// NumCharacteristics is the number of Table 1 software characteristics.
+	NumCharacteristics = profile.NumCharacteristics
+	// NumHWParams is the number of Table 2 hardware parameters.
+	NumHWParams = hwspace.NumParams
+	// DefaultShardLen is the default profiling shard length in instructions.
+	DefaultShardLen = core.DefaultShardLen
+)
+
+// Degradation-ladder rungs.
+const (
+	RungNone     = core.RungNone
+	RungGenetic  = core.RungGenetic
+	RungStepwise = core.RungStepwise
+	RungLastGood = core.RungLastGood
+)
+
+// Sentinel errors callers branch on with errors.Is.
+var (
+	// ErrNotTrained is returned by predictions before any model is served.
+	ErrNotTrained = core.ErrNotTrained
+	// ErrNoSamples is returned by Train with an empty profile store.
+	ErrNoSamples = core.ErrNoSamples
+	// Persistence failure modes of LoadSnapshot.
+	ErrModelCorrupt    = core.ErrModelCorrupt
+	ErrModelVersion    = core.ErrModelVersion
+	ErrModelIncomplete = core.ErrModelIncomplete
+	ErrModelShape      = core.ErrModelShape
+	ErrModelChecksum   = core.ErrModelChecksum
+)
+
+// Option configures a Trainer at construction; see New.
+type Option func(*Trainer)
+
+// New builds a trainer over an initial (possibly empty) profile store with
+// the paper's defaults, then applies options. It replaces direct mutation of
+// the trainer's configuration fields.
+func New(samples []Sample, opts ...Option) *Trainer {
+	t := core.NewTrainer(samples)
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// WithFitness overrides the per-application fitness configuration (training
+// fraction, weight, parsimony penalty, split seed).
+func WithFitness(fc FitnessConfig) Option {
+	return func(t *Trainer) { t.Fitness = fc }
+}
+
+// WithSeed determinizes both the genetic search and the per-application
+// train/validation splits.
+func WithSeed(seed uint64) Option {
+	return func(t *Trainer) {
+		t.Search.Seed = seed
+		t.Fitness.Seed = seed
+	}
+}
+
+// WithGenerations bounds the genetic search length.
+func WithGenerations(n int) Option {
+	return func(t *Trainer) { t.Search.Generations = n }
+}
+
+// WithPopulation sets the genetic population size.
+func WithPopulation(n int) Option {
+	return func(t *Trainer) { t.Search.PopulationSize = n }
+}
+
+// WithSearch replaces the whole genetic search configuration for callers
+// that need more than the common knobs above.
+func WithSearch(p SearchParams) Option {
+	return func(t *Trainer) { t.Search = p }
+}
+
+// WithLogResponse toggles fitting log(CPI) instead of CPI (on by default;
+// the ablation benches turn it off).
+func WithLogResponse(on bool) Option {
+	return func(t *Trainer) { t.LogResponse = on }
+}
+
+// WithStabilize toggles ladder-of-powers variance stabilization (on by
+// default).
+func WithStabilize(on bool) Option {
+	return func(t *Trainer) { t.Stabilize = on }
+}
+
+// WithShardLen records the profiling shard length in published snapshots so
+// a loaded model profiles new shards consistently.
+func WithShardLen(n int) Option {
+	return func(t *Trainer) { t.ShardLen = n }
+}
+
+// LoadSnapshot reads a model snapshot persisted by Snapshot.Save (or
+// Trainer.Save), verifying version, structure, shape, and checksum; failure
+// modes are the typed ErrModel* errors. Hand the result to Trainer.Adopt to
+// serve it.
+func LoadSnapshot(path string) (*Snapshot, error) { return core.LoadSnapshot(path) }
+
+// Baseline returns the mid-range reference microarchitecture.
+func Baseline() Config { return hwspace.Baseline() }
+
+// ConfigFromIndices expands Table 2 level indices into a full configuration.
+// It panics on out-of-range indices; use ConfigFromArch (wire.go) for the
+// error-returning variant that validates external input.
+func ConfigFromIndices(ix Indices) Config { return hwspace.FromIndices(ix) }
+
+// RandomConfig draws one configuration uniformly at random from the Table 2
+// space, deterministically in seed.
+func RandomConfig(seed uint64) Config {
+	return hwspace.FromIndices(hwspace.Sample(rng.New(seed)))
+}

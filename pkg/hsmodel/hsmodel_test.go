@@ -1,0 +1,128 @@
+package hsmodel
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"hsmodel/internal/hwspace"
+)
+
+func TestOptionsApply(t *testing.T) {
+	fc := FitnessConfig{TrainFrac: 0.5, Weight: 3, Seed: 11}
+	tr := New(nil,
+		WithSeed(9),
+		WithPopulation(17),
+		WithGenerations(4),
+		WithFitness(fc),
+		WithLogResponse(false),
+		WithStabilize(false),
+		WithShardLen(12_345),
+	)
+	if tr.Search.Seed != 9 || tr.Search.PopulationSize != 17 || tr.Search.Generations != 4 {
+		t.Errorf("search params not applied: %+v", tr.Search)
+	}
+	if tr.Fitness != fc {
+		t.Errorf("fitness = %+v, want %+v", tr.Fitness, fc)
+	}
+	if tr.LogResponse || tr.Stabilize || tr.ShardLen != 12_345 {
+		t.Errorf("flags not applied: log=%v stab=%v shardlen=%d", tr.LogResponse, tr.Stabilize, tr.ShardLen)
+	}
+	// Defaults survive when no option overrides them.
+	if d := New(nil); !d.LogResponse || !d.Stabilize {
+		t.Error("paper defaults lost without options")
+	}
+}
+
+func TestConfigFromArch(t *testing.T) {
+	counts := hwspace.LevelCounts()
+	arch := make([]int, NumHWParams)
+	for i := range arch {
+		arch[i] = counts[i] - 1
+	}
+	cfg, err := ConfigFromArch(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ix Indices
+	copy(ix[:], arch)
+	if cfg != ConfigFromIndices(ix) {
+		t.Error("ConfigFromArch disagrees with ConfigFromIndices")
+	}
+
+	for _, bad := range [][]int{
+		nil,
+		make([]int, NumHWParams-1),
+		{-1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		{counts[0], 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	} {
+		if _, err := ConfigFromArch(bad); err == nil {
+			t.Errorf("arch %v accepted, want error", bad)
+		}
+	}
+}
+
+func TestConfigFromWirePrecedence(t *testing.T) {
+	cfg := RandomConfig(5)
+	got, err := ConfigFromWire([]int{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, &cfg)
+	if err != nil || got != cfg {
+		t.Errorf("config should win over arch: got %v err %v", got, err)
+	}
+	if got, err := ConfigFromWire(nil, nil); err != nil || got != Baseline() {
+		t.Errorf("empty wire should resolve to baseline: got %v err %v", got, err)
+	}
+}
+
+// TestSampleWireRoundTrip pins the bit-exactness the serving layer's
+// bit-identity guarantee rests on: a Sample survives wire encoding and a
+// JSON round trip with every float64 unchanged.
+func TestSampleWireRoundTrip(t *testing.T) {
+	var s Sample
+	s.App, s.AppID, s.Shard = "astar", 3, 7
+	for i := range s.X {
+		s.X[i] = math.Sqrt(float64(i) + 0.1) // not exactly representable
+	}
+	s.HW = RandomConfig(42)
+	s.CPI = 1.0 / 3.0
+
+	data, err := json.Marshal(SampleToWire(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w SampleWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		t.Fatal(err)
+	}
+	back, err := w.ToSample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("round trip changed the sample:\n got %+v\nwant %+v", back, s)
+	}
+}
+
+func TestPredictRequestShardInputs(t *testing.T) {
+	x := make([]float64, NumCharacteristics)
+	x[0] = 0.25
+
+	xs, hw, err := (PredictRequest{X: x}).ShardInputs()
+	if err != nil || len(xs) != 1 || xs[0][0] != 0.25 || hw != Baseline() {
+		t.Errorf("single shard: xs=%v hw=%v err=%v", xs, hw, err)
+	}
+	xs, _, err = (PredictRequest{Shards: [][]float64{x, x, x}}).ShardInputs()
+	if err != nil || len(xs) != 3 {
+		t.Errorf("multi shard: %d inputs, err=%v", len(xs), err)
+	}
+
+	for name, req := range map[string]PredictRequest{
+		"empty":   {},
+		"both":    {X: x, Shards: [][]float64{x}},
+		"shortX":  {X: x[:5]},
+		"badArch": {X: x, Arch: []int{99}},
+	} {
+		if _, _, err := req.ShardInputs(); err == nil {
+			t.Errorf("%s request accepted, want error", name)
+		}
+	}
+}

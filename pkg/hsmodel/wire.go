@@ -1,0 +1,218 @@
+// Wire schema: the one JSON vocabulary spoken by the hsserve HTTP service,
+// the hsinfer CLI, and any external tooling. Every request and response body
+// on the /v1 API is one of these types, so a sample captured with hsinfer
+// can be POSTed to hsserve unchanged and a prediction printed by either tool
+// round-trips through the same struct.
+//
+// Hardware on the wire is either `arch` — the thirteen Table 2 level
+// indices, the compact external handle — or `config`, a fully specified
+// microarchitecture. When both are present, `config` wins; when both are
+// absent, the baseline configuration is assumed.
+package hsmodel
+
+import (
+	"fmt"
+
+	"hsmodel/internal/hwspace"
+)
+
+// SampleWire is the wire form of a Sample: one sparse profile observation.
+type SampleWire struct {
+	// App optionally names the application the shard came from.
+	App string `json:"app,omitempty"`
+	// AppID groups rows by application for the per-application fitness.
+	AppID int `json:"app_id"`
+	// Shard is the shard index within the application's timeline.
+	Shard int `json:"shard,omitempty"`
+	// X holds the thirteen Table 1 software characteristics.
+	X []float64 `json:"x"`
+	// Arch gives the architecture as Table 2 level indices.
+	Arch []int `json:"arch,omitempty"`
+	// Config gives the architecture fully specified (wins over Arch).
+	Config *Config `json:"config,omitempty"`
+	// CPI is the measured performance of (X, architecture).
+	CPI float64 `json:"cpi"`
+}
+
+// PredictRequest asks for a single-shard or whole-application prediction:
+// exactly one of X (one shard) or Shards (per-shard characteristics,
+// aggregated as the paper does) must be set.
+type PredictRequest struct {
+	X      []float64   `json:"x,omitempty"`
+	Shards [][]float64 `json:"shards,omitempty"`
+	Arch   []int       `json:"arch,omitempty"`
+	Config *Config     `json:"config,omitempty"`
+}
+
+// PredictResponse is the answer to a PredictRequest.
+type PredictResponse struct {
+	// CPI is the predicted performance.
+	CPI float64 `json:"cpi"`
+	// Shards is the number of shard predictions aggregated (1 for a
+	// single-shard query).
+	Shards int `json:"shards"`
+}
+
+// BatchPredictRequest carries many predictions in one round trip; the server
+// additionally coalesces items across concurrent requests into shared
+// evaluator passes.
+type BatchPredictRequest struct {
+	Requests []PredictRequest `json:"requests"`
+}
+
+// BatchPredictItem is one result in a batch; exactly one of the embedded
+// response or Error is meaningful.
+type BatchPredictItem struct {
+	CPI    float64 `json:"cpi,omitempty"`
+	Shards int     `json:"shards,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// BatchPredictResponse answers a BatchPredictRequest, Results parallel to
+// Requests.
+type BatchPredictResponse struct {
+	Results []BatchPredictItem `json:"results"`
+}
+
+// SamplesRequest feeds new profiles into the served trainer's store.
+type SamplesRequest struct {
+	Samples []SampleWire `json:"samples"`
+	// Update asks the server to re-specify the model asynchronously once the
+	// samples are absorbed. A failed re-specification never replaces the
+	// served snapshot.
+	Update bool `json:"update,omitempty"`
+}
+
+// SamplesResponse acknowledges absorbed profiles.
+type SamplesResponse struct {
+	Accepted      int  `json:"accepted"`
+	TotalSamples  int  `json:"total_samples"`
+	UpdateStarted bool `json:"update_started"`
+}
+
+// ModelInfo describes the currently served snapshot and its provenance.
+type ModelInfo struct {
+	Trained     bool   `json:"trained"`
+	Spec        string `json:"spec,omitempty"`
+	Terms       int    `json:"terms,omitempty"`
+	Rung        string `json:"rung,omitempty"`
+	TrainedRows int    `json:"trained_rows,omitempty"`
+	ShardLen    int    `json:"shard_len,omitempty"`
+	// TotalSamples counts the trainer's profile store, including samples not
+	// yet trained on.
+	TotalSamples int `json:"total_samples"`
+	// SnapshotVersion counts snapshot publications observed by the server;
+	// SnapshotAgeSec is the seconds since the last one.
+	SnapshotVersion uint64  `json:"snapshot_version"`
+	SnapshotAgeSec  float64 `json:"snapshot_age_sec"`
+	// GramFits / QRFallbacks are the candidate-fit path counters of the
+	// current evaluator (see TrainReport).
+	GramFits    uint64 `json:"gram_fits"`
+	QRFallbacks uint64 `json:"qr_fallbacks"`
+}
+
+// ErrorResponse is the body of every non-2xx API answer, and the JSON error
+// form the CLI prints in -json mode — including snapshot persistence
+// failures, whose typed ErrModel* messages pass through verbatim.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ConfigFromArch validates Table 2 level indices from the wire and expands
+// them, unlike ConfigFromIndices, without panicking on bad input.
+func ConfigFromArch(arch []int) (Config, error) {
+	if len(arch) != NumHWParams {
+		return Config{}, fmt.Errorf("hsmodel: arch needs %d level indices, got %d", NumHWParams, len(arch))
+	}
+	counts := hwspace.LevelCounts()
+	var ix Indices
+	for i, a := range arch {
+		if a < 0 || a >= counts[i] {
+			return Config{}, fmt.Errorf("hsmodel: arch[%d] = %d out of range for %s (0-%d)",
+				i, a, hwspace.Names[i], counts[i]-1)
+		}
+		ix[i] = a
+	}
+	return hwspace.FromIndices(ix), nil
+}
+
+// ConfigFromWire resolves the wire's two hardware encodings: config if
+// present, else arch, else the baseline.
+func ConfigFromWire(arch []int, cfg *Config) (Config, error) {
+	if cfg != nil {
+		return *cfg, nil
+	}
+	if len(arch) > 0 {
+		return ConfigFromArch(arch)
+	}
+	return Baseline(), nil
+}
+
+// characteristicsFromWire validates and converts one shard's wire vector.
+func characteristicsFromWire(x []float64) (Characteristics, error) {
+	var c Characteristics
+	if len(x) != NumCharacteristics {
+		return c, fmt.Errorf("hsmodel: x needs %d characteristics, got %d", NumCharacteristics, len(x))
+	}
+	copy(c[:], x)
+	return c, nil
+}
+
+// ToSample converts the wire form into a modeling Sample.
+func (w SampleWire) ToSample() (Sample, error) {
+	x, err := characteristicsFromWire(w.X)
+	if err != nil {
+		return Sample{}, err
+	}
+	hw, err := ConfigFromWire(w.Arch, w.Config)
+	if err != nil {
+		return Sample{}, err
+	}
+	return Sample{App: w.App, AppID: w.AppID, Shard: w.Shard, X: x, HW: hw, CPI: w.CPI}, nil
+}
+
+// SampleToWire converts a modeling Sample to its wire form (full config
+// encoding, which survives round-trips exactly).
+func SampleToWire(s Sample) SampleWire {
+	hw := s.HW
+	return SampleWire{
+		App:    s.App,
+		AppID:  s.AppID,
+		Shard:  s.Shard,
+		X:      append([]float64(nil), s.X[:]...),
+		Config: &hw,
+		CPI:    s.CPI,
+	}
+}
+
+// ShardInputs converts a PredictRequest's software side into shard
+// characteristic vectors (length 1 for a single-shard query) plus the
+// resolved hardware configuration.
+func (r PredictRequest) ShardInputs() ([]Characteristics, Config, error) {
+	hw, err := ConfigFromWire(r.Arch, r.Config)
+	if err != nil {
+		return nil, Config{}, err
+	}
+	switch {
+	case len(r.X) > 0 && len(r.Shards) > 0:
+		return nil, Config{}, fmt.Errorf("hsmodel: predict request sets both x and shards")
+	case len(r.X) > 0:
+		x, err := characteristicsFromWire(r.X)
+		if err != nil {
+			return nil, Config{}, err
+		}
+		return []Characteristics{x}, hw, nil
+	case len(r.Shards) > 0:
+		xs := make([]Characteristics, len(r.Shards))
+		for i, sx := range r.Shards {
+			x, err := characteristicsFromWire(sx)
+			if err != nil {
+				return nil, Config{}, fmt.Errorf("hsmodel: shard %d: %w", i, err)
+			}
+			xs[i] = x
+		}
+		return xs, hw, nil
+	default:
+		return nil, Config{}, fmt.Errorf("hsmodel: predict request needs x or shards")
+	}
+}
