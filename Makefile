@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench-smoke serve-smoke ci
+.PHONY: build vet test race lint bench-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# lint builds and runs hslint, the repo's own static analyzer (cmd/hslint):
+# lock ordering, snapshot immutability, search determinism, sentinel-error
+# matching, float comparison discipline, and context propagation. Exits
+# non-zero on any diagnostic; suppressions use //hslint:ignore <check> <reason>.
+lint:
+	$(GO) build -o hslint ./cmd/hslint
+	./hslint ./...
+
 # bench-smoke runs every benchmark exactly once: it proves the full
 # experiment suite (all figures and ablations) still executes end to end
 # without paying for statistically meaningful timings.
@@ -26,8 +34,9 @@ bench-smoke:
 serve-smoke:
 	$(GO) run ./cmd/hsserve -selfcheck
 
-# ci is the gate: compile, static analysis, plain tests, then the race
-# detector over the whole tree (the parallel fitness pool, the lock-free
-# snapshot swaps, and the fault-injection schedules are the usual suspects),
-# and finally the end-to-end serving smoke test.
-ci: build vet test race serve-smoke
+# ci is the gate: compile, static analysis (go vet plus the repo's own
+# hslint invariant checks), plain tests, then the race detector over the
+# whole tree (the parallel fitness pool, the lock-free snapshot swaps, and
+# the fault-injection schedules are the usual suspects), and finally the
+# end-to-end serving smoke test.
+ci: build vet lint test race serve-smoke

@@ -1,0 +1,102 @@
+// Command hslint is the repo's invariant checker: a stdlib-only multichecker
+// over the analyzers in internal/analysis. It enforces, at CI time, the
+// contracts the engine's correctness rests on — the trainer's lock order,
+// snapshot immutability, search determinism, errors.Is matching, float
+// comparison discipline, and context propagation. See DESIGN.md §10.
+//
+// Usage:
+//
+//	hslint ./...                      lint packages (go list patterns)
+//	hslint -dir path/to/testdata      lint loose directories (testdata trees
+//	                                  the go tool will not enumerate)
+//	hslint -checks floateq,errcmp ./...
+//	hslint -list
+//
+// Diagnostics print as file:line:col: message [check]. Exit status: 0 clean,
+// 1 diagnostics reported, 2 usage or load failure.
+//
+// A site may suppress one diagnostic with an in-line directive carrying a
+// mandatory reason:
+//
+//	//hslint:ignore <check> <reason>
+//
+// Unknown check names, missing reasons, and stale directives are themselves
+// diagnostics, so suppressions cannot rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hsmodel/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		dirMode = flag.Bool("dir", false, "treat arguments as directories of Go files (testdata trees) instead of package patterns")
+		checks  = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		list    = flag.Bool("list", false, "list available checks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hslint [-dir] [-checks c1,c2] patterns...")
+		return 2
+	}
+
+	var names []string
+	if *checks != "" {
+		names = strings.Split(*checks, ",")
+	}
+	analyzers, err := analysis.Select(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hslint:", err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hslint:", err)
+		return 2
+	}
+	loader := analysis.NewLoader(cwd)
+
+	var pkgs []*analysis.Package
+	if *dirMode {
+		for _, dir := range flag.Args() {
+			loaded, err := loader.LoadDir(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hslint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, loaded...)
+		}
+	} else {
+		pkgs, err = loader.LoadPackages(flag.Args()...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hslint:", err)
+			return 2
+		}
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -183,7 +184,7 @@ func runSelfcheck(logger *log.Logger) error {
 	if err := postJSON(base+"/v1/predict", req, &pr); err != nil {
 		return fmt.Errorf("predict: %w", err)
 	}
-	if pr.CPI != want {
+	if math.Float64bits(pr.CPI) != math.Float64bits(want) {
 		return fmt.Errorf("predict: served CPI %v differs from direct snapshot prediction %v", pr.CPI, want)
 	}
 	logger.Printf("predict ok: cpi %.4f", pr.CPI)
@@ -202,7 +203,7 @@ func runSelfcheck(logger *log.Logger) error {
 		return fmt.Errorf("predict:batch: %d results for %d requests", len(br.Results), items)
 	}
 	for i, item := range br.Results {
-		if item.Error != "" || item.CPI != want {
+		if item.Error != "" || math.Float64bits(item.CPI) != math.Float64bits(want) {
 			return fmt.Errorf("predict:batch item %d: cpi %v error %q", i, item.CPI, item.Error)
 		}
 	}

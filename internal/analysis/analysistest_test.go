@@ -1,0 +1,144 @@
+package analysis
+
+// Golden-file test harness: runGolden loads a testdata tree in the loader's
+// loose mode (each directory is one package, so the go tool's refusal to
+// enumerate testdata does not matter), runs the given analyzers through the
+// same Run path as cmd/hslint — ignore directives included — and checks the
+// diagnostics against `// want "regex"` comments in the fixture sources.
+//
+// A want comment expects one diagnostic on its own line whose message matches
+// the regex; several quoted regexes on one comment expect several
+// diagnostics. Every diagnostic must be claimed by a distinct want and every
+// want must claim a diagnostic, so fixtures pin both the positives and the
+// negatives of each analyzer.
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the go.mod, which is
+// where the loader must run `go list` so fixture imports resolve.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test working directory")
+		}
+		dir = parent
+	}
+}
+
+type goldenWant struct {
+	file    string
+	line    int
+	raw     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runGolden analyzes every package under dir (relative to this package's
+// directory) with the given analyzers and matches diagnostics to wants.
+func runGolden(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkgs := loadGolden(t, dir)
+	diags := Run(pkgs, analyzers)
+
+	var wants []*goldenWant
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, raw := range splitWants(t, pos, strings.TrimPrefix(text, "want ")) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+						}
+						wants = append(wants, &goldenWant{
+							file: pos.Filename, line: pos.Line, raw: raw, re: re,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// loadGolden loads the fixture tree at dir in loose mode.
+func loadGolden(t *testing.T, dir string) []*Package {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(moduleRoot(t)).LoadDir(abs)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	return pkgs
+}
+
+// splitWants parses the quoted regexes of one want comment. Both `...` and
+// "..." quoting are accepted; a double-quoted segment must not contain an
+// escaped quote (use backquotes for regexes that need one).
+func splitWants(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		q := s[0]
+		if q != '"' && q != '`' {
+			t.Fatalf("%s: want expectation must be quoted, got %q", pos, s)
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want expectation %q", pos, s)
+		}
+		seg, err := strconv.Unquote(s[:end+2])
+		if err != nil {
+			t.Fatalf("%s: bad want expectation %q: %v", pos, s[:end+2], err)
+		}
+		out = append(out, seg)
+		s = s[end+2:]
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no expectation", pos)
+	}
+	return out
+}

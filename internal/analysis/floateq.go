@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags ==/!= between two non-constant floating-point expressions.
+// Exact float equality is almost never what the engine means: fitness
+// values, coefficients, and predictions accumulate rounding, and NaN makes
+// x == x false. The idiomatic repairs are a tolerance, math.IsNaN, or —
+// where the contract really is bit-identity (the serving layer's
+// "batched == direct" guarantee, the Gram/QR parity tests) —
+// math.Float64bits comparison, which states the intent exactly.
+//
+// Comparison against a *constant* operand is the allowlist: exact-parity
+// checks against golden constants (the Fig. 5 values 0.6121/0.5650, exact
+// powers of two, sentinel zeros) are intentional and remain legal.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= between non-constant float expressions; use tolerance, Float64bits, or IsNaN",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xtv, xok := pass.Info.Types[be.X]
+			ytv, yok := pass.Info.Types[be.Y]
+			if !xok || !yok {
+				return true
+			}
+			if xtv.Value != nil || ytv.Value != nil {
+				return true // constant operand: intentional exact check
+			}
+			if isFloat(xtv.Type) && isFloat(ytv.Type) {
+				what := "equality"
+				if be.Op == token.NEQ {
+					what = "inequality"
+				}
+				pass.Reportf(be.Pos(),
+					"exact float %s between %s and %s; compare with a tolerance, math.Float64bits (bit-identity contracts), or math.IsNaN",
+					what, exprText(be.X), exprText(be.Y))
+			}
+			return true
+		})
+	}
+}

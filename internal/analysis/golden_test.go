@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Each analyzer has a golden fixture package under testdata; every planted
+// violation carries a want expectation and every deliberately-legal idiom
+// does not, so both halves of each contract are pinned.
+
+func TestLockOrderGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "lockorder"), LockOrder)
+}
+
+func TestSnapImmutableGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "snapimmutable"), SnapImmutable)
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "determinism"), Determinism)
+}
+
+func TestErrCmpGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "errcmp"), ErrCmp)
+}
+
+func TestFloatEqGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "floateq"), FloatEq)
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "ctxflow"), CtxFlow)
+}
+
+// TestMisuseCorpusGolden reuses faultinject's misuse corpus under the full
+// analyzer set: every planted bug must be reported, and nothing else.
+func TestMisuseCorpusGolden(t *testing.T) {
+	runGolden(t, filepath.Join("..", "faultinject", "testdata", "misuse"), All()...)
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The ignore fixture plants one scenario per function: same-line
+// suppression, line-above suppression, an unknown check name, a directive
+// with no reason, and a stale directive. The assertions run the same Run
+// path as cmd/hslint.
+
+func loadIgnoreFixture(t *testing.T) []*Package {
+	t.Helper()
+	return loadGolden(t, filepath.Join("testdata", "ignore"))
+}
+
+type diagExpect struct {
+	check  string
+	substr string
+}
+
+func assertDiags(t *testing.T, diags []Diagnostic, expected []diagExpect) {
+	t.Helper()
+	if len(diags) != len(expected) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("%d diagnostics, want %d", len(diags), len(expected))
+	}
+	for _, e := range expected {
+		found := false
+		for _, d := range diags {
+			if d.Check == e.check && strings.Contains(d.Message, e.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			for _, d := range diags {
+				t.Logf("got: %s", d)
+			}
+			t.Fatalf("no [%s] diagnostic containing %q", e.check, e.substr)
+		}
+	}
+}
+
+// TestIgnoreDirectives: with floateq running, the two well-formed directives
+// suppress their diagnostics silently, and the three malformed ones are
+// reported by the hslint meta-check.
+func TestIgnoreDirectives(t *testing.T) {
+	diags := Run(loadIgnoreFixture(t), []*Analyzer{FloatEq})
+	assertDiags(t, diags, []diagExpect{
+		// unknownCheck's comparison is NOT suppressed (the directive names a
+		// check that does not exist) ...
+		{"floateq", "exact float equality between x and y"},
+		// ... and the directive itself is reported.
+		{"hslint", `unknown check "nosuchcheck"`},
+		// missingReason's comparison is suppressed, but the bare directive is
+		// flagged for its missing justification.
+		{"hslint", `ignore directive for "floateq" has no reason`},
+		// staleDirective suppresses nothing.
+		{"hslint", "stale ignore directive"},
+	})
+}
+
+// TestIgnoreStaleOnlyWhenCheckRan: a -checks subset run must not condemn
+// directives for checks it skipped, but directive hygiene (unknown names,
+// missing reasons) still applies.
+func TestIgnoreStaleOnlyWhenCheckRan(t *testing.T) {
+	diags := Run(loadIgnoreFixture(t), []*Analyzer{ErrCmp})
+	assertDiags(t, diags, []diagExpect{
+		{"hslint", `unknown check "nosuchcheck"`},
+		{"hslint", `ignore directive for "floateq" has no reason`},
+	})
+	for _, d := range diags {
+		if strings.Contains(d.Message, "stale") {
+			t.Errorf("stale reported for a check that did not run: %s", d)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package loading for hslint: a stdlib-only substitute for
+// golang.org/x/tools/go/packages, driven by `go list -export -json`.
+//
+// Target packages are parsed and type-checked from source (so analyzers see
+// full syntax plus type information for test files); every import — stdlib
+// or intra-module — is satisfied from the compiler's export data, which
+// `go list -export` materializes in the build cache. Resolving all imports
+// through one shared gc importer keeps type identity consistent across
+// targets regardless of which subset of the module is being analyzed.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one analyzed package: syntax for every file (including in-package
+// test files) plus full type information.
+type Package struct {
+	PkgPath string
+	Name    string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPackage mirrors the `go list -json` fields the loader consumes.
+type listedPackage struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	DepOnly      bool
+	Standard     bool
+}
+
+// Loader loads packages for analysis. Dir is the directory `go list` runs in
+// (normally the module root).
+type Loader struct {
+	Dir string
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	gc      types.ImporterFrom
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{Dir: dir, fset: token.NewFileSet(), exports: make(map[string]string)}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}).(types.ImporterFrom)
+	return l
+}
+
+// Import satisfies types.Importer by reading export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return l.gc.ImportFrom(path, l.Dir, 0)
+}
+
+// goList runs `go list -export -json` over args and decodes the JSON stream.
+func (l *Loader) goList(extra []string, args ...string) ([]*listedPackage, error) {
+	cmdArgs := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,TestGoFiles,XTestGoFiles,DepOnly,Standard",
+	}, extra...)
+	cmdArgs = append(cmdArgs, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// recordExports remembers where each listed package's export data lives.
+func (l *Loader) recordExports(pkgs []*listedPackage) {
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// resolveImports makes sure export data exists for every import path in
+// files, issuing one extra `go list` for paths the -deps walk missed
+// (test-only dependencies, typically).
+func (l *Loader) resolveImports(files []*ast.File) error {
+	var missing []string
+	seen := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "unsafe" || path == "C" || seen[path] || l.exports[path] != "" {
+				continue
+			}
+			seen[path] = true
+			missing = append(missing, path)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	pkgs, err := l.goList(nil, missing...)
+	if err != nil {
+		return err
+	}
+	l.recordExports(pkgs)
+	return nil
+}
+
+// parseFiles parses each file (with comments) relative to dir.
+func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks one group of files as package pkgPath.
+func (l *Loader) check(pkgPath, name string, files []*ast.File) (*Package, error) {
+	if err := l.resolveImports(files); err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	cfg := &types.Config{Importer: l}
+	tpkg, err := cfg.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Name:    name,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// LoadPackages loads the packages matching the given go-list patterns, plus
+// their in-package and external test files, with full type information.
+func (l *Loader) LoadPackages(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList([]string{"-deps"}, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	l.recordExports(listed)
+
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || p.Name == "" {
+			continue
+		}
+		files, err := l.parseFiles(p.Dir, append(append([]string{}, p.GoFiles...), p.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		if len(files) > 0 {
+			pkg, err := l.check(p.ImportPath, p.Name, files)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+		if len(p.XTestGoFiles) > 0 {
+			xfiles, err := l.parseFiles(p.Dir, p.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			pkg, err := l.check(p.ImportPath+"_test", p.Name+"_test", xfiles)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// LoadDir loads every package under root (each directory is one package),
+// bypassing `go list` package discovery so testdata trees — which the go
+// tool refuses to enumerate — can be analyzed. Imports must still resolve:
+// they are satisfied from export data via `go list` in l.Dir, so corpus
+// files may import the stdlib and module packages but not each other.
+func (l *Loader) LoadDir(root string) ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	var out []*Package
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				names = append(names, e.Name())
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		sort.Strings(names)
+		files, err := l.parseFiles(dir, names)
+		if err != nil {
+			return nil, err
+		}
+		name := files[0].Name.Name
+		pkg, err := l.check(filepath.ToSlash(dir), name, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no Go packages under %s", root)
+	}
+	return out, nil
+}

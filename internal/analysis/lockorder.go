@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockOrder enforces the Trainer's two-lock protocol (internal/core/trainer.go):
+// trainMu serializes training runs and is NEVER acquired while mu (the
+// sample-store lock) is held — the reverse order is what lets AddSamples
+// proceed during a search. It also flags a sync.Mutex Lock with no matching
+// Unlock (direct or deferred) anywhere in the same function, the
+// copy-paste bug that turns a degraded train run into a deadlock.
+//
+// The walk is a linear source-order approximation of control flow, plus a
+// one-level call summary: calling a function that itself acquires a field
+// named trainMu while a mu-field lock is held is flagged too.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "trainMu must never be acquired while mu is held; every Lock needs an Unlock",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	// One-level summary: which functions in this package directly acquire a
+	// mutex field named trainMu?
+	locksTrainMu := make(map[types.Object]bool)
+	eachFuncDecl(pass, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if _, field, method, ok := mutexCall(pass.Info, call); ok &&
+					field == "trainMu" && (method == "Lock" || method == "TryLock") {
+					locksTrainMu[pass.Info.ObjectOf(fd.Name)] = true
+				}
+			}
+			return true
+		})
+	})
+
+	eachFuncDecl(pass, func(fd *ast.FuncDecl) {
+		walkLockScope(pass, fd.Body, locksTrainMu)
+	})
+}
+
+// walkLockScope analyzes one function (or closure) body with fresh lock state.
+func walkLockScope(pass *Pass, body *ast.BlockStmt, locksTrainMu map[types.Object]bool) {
+	held := make(map[string]token.Pos) // currently held, linear approximation
+	firstLock := make(map[string]token.Pos)
+	released := make(map[string]bool) // any Unlock or defer Unlock seen
+	skip := make(map[ast.Node]bool)   // call nodes consumed by defer handling
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures run at a different time than they are declared;
+			// analyze them as independent scopes.
+			walkLockScope(pass, n.Body, locksTrainMu)
+			return false
+
+		case *ast.DeferStmt:
+			if key, _, method, ok := mutexCall(pass.Info, n.Call); ok &&
+				(method == "Unlock" || method == "RUnlock") {
+				released[key] = true
+			}
+			// defer func() { mu.Unlock() }() also releases at exit.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if key, _, method, ok := mutexCall(pass.Info, call); ok &&
+							(method == "Unlock" || method == "RUnlock") {
+							released[key] = true
+						}
+					}
+					return true
+				})
+			}
+			skip[n.Call] = true
+			return true
+
+		case *ast.CallExpr:
+			if skip[n] {
+				return true
+			}
+			if key, field, method, ok := mutexCall(pass.Info, n); ok {
+				switch method {
+				case "Lock", "RLock":
+					if field == "trainMu" {
+						for h := range held {
+							if lockBase(h) == lockBase(key) && h != key && fieldOf(h) == "mu" {
+								pass.Reportf(n.Pos(),
+									"trainMu acquired while mu is held; the trainer's lock order is trainMu before mu (trainer.go contract)")
+							}
+						}
+					}
+					held[key] = n.Pos()
+					if _, seen := firstLock[key]; !seen {
+						firstLock[key] = n.Pos()
+					}
+				case "Unlock", "RUnlock":
+					delete(held, key)
+					released[key] = true
+				}
+				return true
+			}
+			// Cross-function, one level deep: a callee that locks trainMu
+			// while we hold a mu is the same ordering violation.
+			if callee := calledFunc(pass.Info, n); callee != nil && locksTrainMu[callee] {
+				for h := range held {
+					if fieldOf(h) == "mu" {
+						pass.Reportf(n.Pos(),
+							"call to %s acquires trainMu while mu is held", callee.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for key, pos := range firstLock {
+		if !released[key] {
+			pass.Reportf(pos,
+				"%s is locked but never unlocked in this function (no Unlock or defer Unlock)", fieldOf(key))
+		}
+	}
+}
+
+// fieldOf returns the final field name of a lock key.
+func fieldOf(key string) string {
+	base := lockBase(key)
+	if base == key {
+		return key
+	}
+	return key[len(base)+1:]
+}
+
+// calledFunc resolves the static callee of a call, if it is a declared
+// function or method.
+func calledFunc(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.ObjectOf(fun).(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.ObjectOf(fun.Sel).(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapImmutable enforces the serving architecture's central contract
+// (internal/core/snapshot.go): a core.Snapshot is immutable after
+// construction — lock-free readers depend on it — and the *served* snapshot
+// is only ever replaced through an atomic.Pointer Store/CompareAndSwap.
+// It flags (1) any write to a Snapshot field outside a constructor/loader
+// in the defining package, and (2) any assignment of a *Snapshot into a
+// plain struct field, which publishes a snapshot without the atomic
+// pointer's release/acquire semantics.
+var SnapImmutable = &Analyzer{
+	Name: "snapimmutable",
+	Doc:  "core.Snapshot fields are write-once; snapshots publish via atomic.Pointer",
+	Run:  runSnapImmutable,
+}
+
+func isSnapshot(t types.Type) bool { return namedIn(t, "core", "Snapshot") }
+
+// snapConstructor reports whether fd may legitimately initialize Snapshot
+// fields: a constructor or loader declared in the Snapshot's own package.
+func snapConstructor(pass *Pass, fd *ast.FuncDecl) bool {
+	if pass.PkgName != "core" {
+		return false
+	}
+	name := fd.Name.Name
+	for _, prefix := range []string{"New", "new", "Load", "load"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runSnapImmutable(pass *Pass) {
+	eachFuncDecl(pass, func(fd *ast.FuncDecl) {
+		allowed := snapConstructor(pass, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					checkSnapshotWrite(pass, lhs, rhs, allowed)
+				}
+			case *ast.IncDecStmt:
+				checkSnapshotWrite(pass, n.X, nil, allowed)
+			}
+			return true
+		})
+	})
+}
+
+func checkSnapshotWrite(pass *Pass, lhs, rhs ast.Expr, allowed bool) {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr:
+		// s.field = v where s is a (pointer to) Snapshot: field mutation.
+		if isSnapshot(pass.TypeOf(lhs.X)) {
+			if !allowed {
+				pass.Reportf(lhs.Pos(),
+					"write to core.Snapshot field %s outside a constructor; published snapshots are immutable (snapshot.go contract)",
+					lhs.Sel.Name)
+			}
+			return
+		}
+		// x.field = snap where field's type is *Snapshot: a publication
+		// that bypasses atomic.Pointer[Snapshot]. Clearing a field to nil
+		// is not a publication.
+		if rhs != nil {
+			if tv, ok := pass.Info.Types[rhs]; ok && tv.IsNil() {
+				return
+			}
+		}
+		if t := pass.TypeOf(lhs); t != nil && !allowed {
+			if p, ok := t.(*types.Pointer); ok && isSnapshot(p.Elem()) && isStructField(pass, lhs) {
+				pass.Reportf(lhs.Pos(),
+					"*core.Snapshot stored into plain field %s; publish snapshots through atomic.Pointer[core.Snapshot].Store/CompareAndSwap",
+					lhs.Sel.Name)
+			}
+		}
+	case *ast.StarExpr:
+		// *p = Snapshot{...}: wholesale overwrite through a pointer.
+		if isSnapshot(pass.TypeOf(lhs.X)) && !allowed {
+			pass.Reportf(lhs.Pos(),
+				"write through *core.Snapshot; published snapshots are immutable (snapshot.go contract)")
+		}
+	}
+}
+
+// isStructField reports whether sel selects a struct field (as opposed to a
+// package-level var reached through a package qualifier).
+func isStructField(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	v, ok := s.Obj().(*types.Var)
+	return ok && v.IsField()
+}

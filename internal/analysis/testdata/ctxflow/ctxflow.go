@@ -1,0 +1,101 @@
+// Fixture for the ctxflow analyzer. The package is named "serve" so the
+// cancellation discipline of the engine's entry-point packages applies:
+// exported functions looping over cancellable work must accept a context (or
+// *http.Request) and use it.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func step(ctx context.Context) error { return ctx.Err() }
+
+// RunAll loops calling a ctx-taking callee but offers callers no handle to
+// cancel the run.
+func RunAll(n int) {
+	for i := 0; i < n; i++ { // want `exported RunAll loops over cancellable work but has no context.Context parameter`
+		_ = step(context.Background())
+	}
+}
+
+// RunAllCtx threads the context through. Legal.
+func RunAllCtx(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := step(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain blocks on a channel every iteration with no way out.
+func Drain(ch chan int) int {
+	total := 0
+	for v := range ch { // want `exported Drain loops over cancellable work but has no context.Context parameter`
+		total += v
+	}
+	return total
+}
+
+// Pump selects on ctx.Done. Legal.
+func Pump(ctx context.Context, ch chan<- int, n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case ch <- i:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Sleepy spins on the clock with no cancellation.
+func Sleepy(n int) {
+	for i := 0; i < n; i++ { // want `exported Sleepy loops over cancellable work but has no context.Context parameter`
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Ignores takes a context and then pretends it does not exist.
+func Ignores(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // want `exported Ignores accepts a context but never uses it`
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// ServeLoop carries its context via *http.Request. Legal.
+func ServeLoop(w http.ResponseWriter, r *http.Request, jobs []func(context.Context) error) {
+	for _, job := range jobs {
+		if err := job(r.Context()); err != nil {
+			return
+		}
+	}
+}
+
+// Mean is pure bounded computation: the predict fast path needs no context.
+func Mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+type pool struct {
+	done chan struct{}
+}
+
+// Close drains on close: io.Closer's shape is fixed, so it is exempt.
+func (p *pool) Close() error {
+	for range p.done {
+	}
+	return nil
+}
+
+// drainQuietly is unexported: internal helpers are the caller's
+// responsibility.
+func drainQuietly(ch chan int) {
+	for range ch {
+	}
+}

@@ -1,0 +1,75 @@
+// Fixture for the determinism analyzer. The package is named "genetic" so
+// the reproducibility contract of the search/fit packages applies: no
+// process-global randomness, no wall-clock reads, no accumulation in
+// map-iteration order.
+package genetic
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// globalDraw reads the process-global source: two runs of the same seed
+// diverge.
+func globalDraw() float64 {
+	return rand.Float64() // want `draws from the process-global source`
+}
+
+// seededDraw uses an explicitly seeded source. Legal.
+func seededDraw(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// stamp reads the wall clock inside the search package.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in a fit/search path`
+}
+
+// sumFitness accumulates a float in map-iteration order: the low bits change
+// between runs.
+func sumFitness(byApp map[int]float64) float64 {
+	var sum float64
+	for _, f := range byApp {
+		sum += f // want `float accumulation into sum inside range over map`
+	}
+	return sum
+}
+
+// keysSorted is the collect-then-sort idiom the trainer uses to canonicalize
+// application IDs. Legal.
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keysUnsorted collects in map order and never sorts.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map`
+	}
+	return keys
+}
+
+// countEntries increments an integer: counting is order-insensitive.
+func countEntries(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sliceSum accumulates over a slice, which iterates in index order. Legal.
+func sliceSum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}

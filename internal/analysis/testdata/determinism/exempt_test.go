@@ -1,0 +1,9 @@
+package genetic
+
+import "math/rand"
+
+// Test files are exempt from the reproducibility contract: no want here even
+// though the global source is used.
+func shuffleForTest(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

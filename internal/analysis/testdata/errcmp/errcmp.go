@@ -1,0 +1,70 @@
+// Fixture for the errcmp analyzer: sentinel errors travel through %w wraps,
+// so they must be matched with errors.Is, never ==, and fmt.Errorf must not
+// sever the chain with %v/%s.
+package errcmp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var ErrTrain = errors.New("train failed")
+
+// softFail is error-typed but not Err*-named: not part of the sentinel
+// protocol, so exact comparison is left alone.
+var softFail = errors.New("soft failure")
+
+func eq(err error) bool {
+	return err == ErrTrain // want `== compared with ErrTrain`
+}
+
+func neq(err error) bool {
+	return err != ErrTrain // want `!= compared with ErrTrain`
+}
+
+func ctxSentinel(err error) bool {
+	return err == context.Canceled // want `== compared with context.Canceled`
+}
+
+// isMatch is the blessed form.
+func isMatch(err error) bool {
+	return errors.Is(err, ErrTrain)
+}
+
+// nilCheck is fine: nil is not a sentinel.
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+func eqNonSentinel(err error) bool {
+	return err == softFail
+}
+
+func sw(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrTrain: // want `switch on error compares ErrTrain with ==`
+		return "train"
+	}
+	return "other"
+}
+
+func wrapOpaque(err error) error {
+	return fmt.Errorf("fit failed: %v", err) // want `error err wrapped with %v`
+}
+
+func wrapString(err error) error {
+	return fmt.Errorf("fit failed: %s", err) // want `error err wrapped with %s`
+}
+
+// wrapKeeps preserves the chain.
+func wrapKeeps(err error) error {
+	return fmt.Errorf("fit failed: %w", err)
+}
+
+// wrapMixed: non-error verbs may be anything, the error still rides %w.
+func wrapMixed(n int, err error) error {
+	return fmt.Errorf("%d rows: %w", n, err)
+}

@@ -1,0 +1,47 @@
+// Fixture for the floateq analyzer: no exact ==/!= between non-constant
+// floats; constants are the allowlist (golden-value parity checks).
+package floateq
+
+import "math"
+
+func eq(a, b float64) bool {
+	return a == b // want `exact float equality between a and b`
+}
+
+func neq(a, b float64) bool {
+	return a != b // want `exact float inequality between a and b`
+}
+
+// selfNaN is the x != x NaN test spelled the dangerous way.
+func selfNaN(x float64) bool {
+	return x != x // want `exact float inequality between x and x`
+}
+
+func narrow(a, b float32) bool {
+	return a == b // want `exact float equality between a and b`
+}
+
+// constantGolden: comparing against a golden constant (the Fig. 5 values)
+// is an intentional exact check. Legal.
+func constantGolden(x float64) bool {
+	return x == 0.6121
+}
+
+func constantZero(x float64) bool {
+	return x != 0
+}
+
+// bits states a bit-identity contract exactly. Legal.
+func bits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// tolerance is the usual repair for accumulated rounding. Legal.
+func tolerance(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// ints compare exactly by nature.
+func ints(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,28 @@
+// Fixture for //hslint:ignore directive handling: suppression on the same
+// line and the line above, unknown check names, missing reasons, and stale
+// directives. Exercised programmatically by ignore_test.go rather than via
+// want comments, because the scenarios assert on the meta-check output
+// itself.
+package ignoredemo
+
+func suppressedSameLine(a, b float64) bool {
+	return a == b //hslint:ignore floateq exact match demanded by the fixture
+}
+
+func suppressedLineAbove(c, d float64) bool {
+	//hslint:ignore floateq tolerance handled by the caller
+	return c != d
+}
+
+func unknownCheck(x, y float64) bool {
+	return x == y //hslint:ignore nosuchcheck the check name is wrong on purpose
+}
+
+func missingReason(m, n float64) bool {
+	return m == n //hslint:ignore floateq
+}
+
+func staleDirective(p, q float64) bool {
+	//hslint:ignore floateq nothing to suppress on the next line
+	return p < q
+}

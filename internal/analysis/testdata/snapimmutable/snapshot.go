@@ -1,0 +1,63 @@
+// Fixture for the snapimmutable analyzer. The package is deliberately named
+// "core" so its Snapshot type stands in for hsmodel/internal/core.Snapshot:
+// fields are write-once (constructors/loaders only) and the served snapshot
+// is replaced exclusively through atomic.Pointer.
+package core
+
+import "sync/atomic"
+
+type Snapshot struct {
+	version int
+	coef    []float64
+}
+
+// NewSnapshot is a constructor: the one place fields may be written.
+func NewSnapshot(version int, coef []float64) *Snapshot {
+	s := &Snapshot{}
+	s.version = version
+	s.coef = coef
+	return s
+}
+
+// loadSnapshot is a loader; the load* prefix is also constructor-shaped.
+func loadSnapshot(version int) *Snapshot {
+	s := new(Snapshot)
+	s.version = version
+	return s
+}
+
+type publisher struct {
+	atomicSnap atomic.Pointer[Snapshot]
+	plainSnap  *Snapshot
+}
+
+// publishAtomic replaces the served snapshot the blessed way.
+func (p *publisher) publishAtomic(s *Snapshot) {
+	p.atomicSnap.Store(s)
+}
+
+// publishPlain stores a snapshot into a plain field: readers get no
+// release/acquire edge.
+func (p *publisher) publishPlain(s *Snapshot) {
+	p.plainSnap = s // want `stored into plain field plainSnap`
+}
+
+// clear nils the field out; retiring a snapshot is not a publication.
+func (p *publisher) clear() {
+	p.plainSnap = nil
+}
+
+// bump mutates a field on a snapshot that may already be published.
+func bump(s *Snapshot) {
+	s.version++ // want `write to core.Snapshot field version outside a constructor`
+}
+
+// retune swaps the coefficient slice in place.
+func retune(s *Snapshot, coef []float64) {
+	s.coef = coef // want `write to core.Snapshot field coef outside a constructor`
+}
+
+// reset overwrites the whole value through the pointer.
+func reset(s *Snapshot) {
+	*s = Snapshot{} // want `write through \*core.Snapshot`
+}

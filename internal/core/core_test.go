@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"testing"
 
 	"hsmodel/internal/genetic"
@@ -46,7 +47,7 @@ func TestSampleRowLayout(t *testing.T) {
 	if row[0] != 42 {
 		t.Error("software characteristics must come first")
 	}
-	if row[13] != float64(hwspace.Baseline().Width) {
+	if math.Float64bits(row[13]) != math.Float64bits(float64(hwspace.Baseline().Width)) {
 		t.Error("hardware vector must follow software characteristics")
 	}
 }
@@ -73,7 +74,7 @@ func TestCollectDeterministicAndGrouped(t *testing.T) {
 		t.Fatalf("collected %d, %d samples", len(a), len(b))
 	}
 	for i := range a {
-		if a[i].CPI != b[i].CPI || a[i].X != b[i].X || a[i].HW != b[i].HW {
+		if math.Float64bits(a[i].CPI) != math.Float64bits(b[i].CPI) || a[i].X != b[i].X || a[i].HW != b[i].HW {
 			t.Fatalf("sample %d differs between identical collections", i)
 		}
 	}
@@ -100,7 +101,7 @@ func TestProfileCacheSharedAcrossArchitectures(t *testing.T) {
 	if samples[0].X != samples[1].X {
 		t.Error("same shard produced different profiles on different architectures")
 	}
-	if samples[0].CPI == samples[1].CPI {
+	if math.Float64bits(samples[0].CPI) == math.Float64bits(samples[1].CPI) {
 		t.Error("different architectures should usually give different CPI")
 	}
 }
@@ -329,7 +330,7 @@ func TestAddSamplesInvalidatesEvaluator(t *testing.T) {
 	}
 	changed := len(after.Coef) != len(before.Coef)
 	for j := 0; !changed && j < len(after.Coef); j++ {
-		changed = after.Coef[j] != before.Coef[j]
+		changed = math.Float64bits(after.Coef[j]) != math.Float64bits(before.Coef[j])
 	}
 	if !changed {
 		t.Error("appended samples had no influence on the fitted coefficients")

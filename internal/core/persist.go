@@ -147,7 +147,7 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 	}
 	var saved SavedModel
 	if err := json.Unmarshal(data, &saved); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrModelCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrModelCorrupt, err)
 	}
 	if saved.Version < minLoadableVersion || saved.Version > savedModelVersion {
 		return nil, fmt.Errorf("%w: found %d, want %d–%d",
@@ -162,7 +162,7 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 	}
 	sum, err := modelChecksum(saved.Model)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrModelCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrModelCorrupt, err)
 	}
 	if sum != saved.Checksum {
 		return nil, fmt.Errorf("%w: stored %.12s…, computed %.12s…",

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,7 +38,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		if err1 != nil || err2 != nil {
 			t.Fatal(err1, err2)
 		}
-		if want != got {
+		if math.Float64bits(want) != math.Float64bits(got) {
 			t.Fatalf("round-trip prediction %v, want %v", got, want)
 		}
 	}
@@ -46,7 +47,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	fresh.Adopt(loaded)
 	want, _ := m.PredictShard(valid[0].X, valid[0].HW)
 	got, err := fresh.PredictShard(valid[0].X, valid[0].HW)
-	if err != nil || got != want {
+	if err != nil || math.Float64bits(got) != math.Float64bits(want) {
 		t.Errorf("adopted snapshot prediction %v (err %v), want %v", got, err, want)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"math"
 	"path/filepath"
 	"testing"
 	"time"
@@ -109,7 +110,7 @@ func TestTrainResilientServesLastGoodFromDisk(t *testing.T) {
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
-	if want != got {
+	if math.Float64bits(want) != math.Float64bits(got) {
 		t.Errorf("last-good prediction %v, want %v", got, want)
 	}
 }

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"math"
 	"testing"
 
 	"hsmodel/internal/hwspace"
@@ -191,7 +192,7 @@ func TestDeterminism(t *testing.T) {
 	cfg := hwspace.Baseline()
 	a := New(cfg).Run(app.ShardStream(7, 30_000))
 	b := New(cfg).Run(app.ShardStream(7, 30_000))
-	if a.Cycles != b.Cycles || a.Mispredicts != b.Mispredicts {
+	if math.Float64bits(a.Cycles) != math.Float64bits(b.Cycles) || a.Mispredicts != b.Mispredicts {
 		t.Error("simulation is not deterministic")
 	}
 }
@@ -204,7 +205,7 @@ func TestSimulatorReuse(t *testing.T) {
 	sim := New(cfg)
 	first := sim.Run(app.ShardStream(0, 20_000))
 	second := sim.Run(app.ShardStream(0, 20_000))
-	if first.Cycles != second.Cycles {
+	if math.Float64bits(first.Cycles) != math.Float64bits(second.Cycles) {
 		t.Error("simulator state leaked between runs")
 	}
 	if sim.Config() != cfg {

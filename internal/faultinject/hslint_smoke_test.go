@@ -1,0 +1,70 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHslintCatchesMisuseCorpus builds the real hslint binary and runs it
+// over the misuse corpus in testdata/misuse: the lint must exit non-zero and
+// report every class of planted bug. This is the end-to-end proof that the
+// analyzers catch the failure modes this package exists to inject.
+func TestHslintCatchesMisuseCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the hslint binary")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", root, err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "hslint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/hslint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building hslint: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-dir", filepath.Join("internal", "faultinject", "testdata", "misuse"))
+	cmd.Dir = root
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err = cmd.Run()
+	if err == nil {
+		t.Fatalf("hslint exited 0 on the misuse corpus; output:\n%s", buf.String())
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("running hslint: %v\n%s", err, buf.String())
+	}
+	if code := exitErr.ExitCode(); code != 1 {
+		t.Fatalf("hslint exit code = %d, want 1 (diagnostics found); output:\n%s", code, buf.String())
+	}
+
+	out := buf.String()
+	for _, want := range []string{
+		"trainMu acquired while mu is held",
+		"mu is locked but never unlocked",
+		"write to core.Snapshot field version",
+		"stored into plain field current",
+		"draws from the process-global source",
+		"time.Now in a fit/search path",
+		"float accumulation into sum",
+		"== compared with ErrTrain",
+		"wrapped with %v",
+		"exact float equality",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hslint output missing %q; full output:\n%s", want, out)
+		}
+	}
+}

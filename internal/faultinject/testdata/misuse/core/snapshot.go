@@ -1,0 +1,28 @@
+// Package core mirrors the engine's core package name so the snapimmutable
+// analyzer's Snapshot contract applies: this Snapshot stands in for
+// hsmodel/internal/core.Snapshot.
+package core
+
+type Snapshot struct {
+	version int
+	coef    []float64
+}
+
+// NewSnapshot is the one place Snapshot fields may be written.
+func NewSnapshot(version int, coef []float64) *Snapshot {
+	s := &Snapshot{}
+	s.version = version
+	s.coef = coef
+	return s
+}
+
+type registry struct {
+	current *Snapshot
+}
+
+// Publish mutates a possibly-published snapshot and then stores it into a
+// plain field, bypassing atomic.Pointer.
+func (r *registry) Publish(s *Snapshot) {
+	s.version++   // want `write to core.Snapshot field version outside a constructor`
+	r.current = s // want `stored into plain field current`
+}

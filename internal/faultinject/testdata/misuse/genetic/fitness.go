@@ -1,0 +1,34 @@
+// Package genetic mirrors the engine's search package name so the
+// determinism analyzer's reproducibility contract applies.
+package genetic
+
+import (
+	"math/rand"
+	"time"
+)
+
+type individual struct {
+	fitness float64
+}
+
+// Mutate draws from the process-global rand source inside the fitness loop:
+// two runs of the same seed diverge.
+func Mutate(pop []individual) {
+	for i := range pop {
+		pop[i].fitness += rand.Float64() // want `rand.Float64 draws from the process-global source`
+	}
+}
+
+// Deadline stamps the search with the wall clock.
+func Deadline() int64 {
+	return time.Now().Unix() // want `time.Now in a fit/search path`
+}
+
+// MeanFitness accumulates a float in map-iteration order.
+func MeanFitness(byApp map[int]float64) float64 {
+	var sum float64
+	for _, f := range byApp {
+		sum += f // want `float accumulation into sum inside range over map`
+	}
+	return sum / float64(len(byApp))
+}

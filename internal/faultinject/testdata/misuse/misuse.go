@@ -1,0 +1,50 @@
+// Package misuse is faultinject's static-analysis corpus: a set of
+// deliberate invariant violations that hslint must catch. The smoke test in
+// internal/faultinject runs the real binary over this tree and demands a
+// non-zero exit; internal/analysis reuses the same files as a golden
+// package, so every planted bug carries a `// want` expectation.
+package misuse
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+var ErrTrain = errors.New("misuse: training failed")
+
+type trainer struct {
+	trainMu sync.Mutex
+	mu      sync.Mutex
+	samples int
+}
+
+// LockedForever takes the sample-store lock and forgets to release it: the
+// next caller deadlocks.
+func (t *trainer) LockedForever() {
+	t.mu.Lock() // want `mu is locked but never unlocked in this function`
+	t.samples++
+}
+
+// WrongOrder acquires trainMu while holding mu, inverting the trainer's
+// documented lock order.
+func (t *trainer) WrongOrder() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.trainMu.Lock() // want `trainMu acquired while mu is held`
+	defer t.trainMu.Unlock()
+}
+
+// Describe matches a sentinel with == (silently false once wrapped) and
+// severs an error chain with %v.
+func Describe(err error) string {
+	if err == ErrTrain { // want `== compared with ErrTrain`
+		return "training"
+	}
+	return fmt.Errorf("describe: %v", err).Error() // want `error err wrapped with %v`
+}
+
+// Converged compares two accumulated floats exactly.
+func Converged(prev, cur float64) bool {
+	return prev == cur // want `exact float equality between prev and cur`
+}

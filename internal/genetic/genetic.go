@@ -201,7 +201,7 @@ func Search(ctx context.Context, numVars int, eval Evaluator, p Params) (*Result
 
 	for g := 0; g < p.Generations; g++ {
 		if err := ctx.Err(); err != nil {
-			return partial(g, fmt.Errorf("%w: %v", ErrCancelled, err))
+			return partial(g, fmt.Errorf("%w: %w", ErrCancelled, err))
 		}
 		if err := cache.scoreAll(ctx, pop); err != nil {
 			// pop is partially scored: evaluated individuals (including
@@ -267,7 +267,7 @@ func sanitizeFitness(pop []Individual) {
 // on the spec rendering, so searches are reproducible across runs.
 func sortPopulation(pop []Individual) {
 	sort.SliceStable(pop, func(i, j int) bool {
-		if pop[i].Fitness != pop[j].Fitness {
+		if pop[i].Fitness != pop[j].Fitness { //hslint:ignore floateq exact ordering comparator over clamped (NaN-free) fitness values; a tolerance here would break sort transitivity
 			return pop[i].Fitness < pop[j].Fitness
 		}
 		return pop[i].Spec.String() < pop[j].Spec.String()
@@ -508,7 +508,7 @@ func (fc *fitnessCache) scoreAll(ctx context.Context, pop []Individual) error {
 	fc.mu.Unlock()
 	if len(jobs) == 0 {
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("%w: %v", ErrCancelled, err)
+			return fmt.Errorf("%w: %w", ErrCancelled, err)
 		}
 		return nil
 	}
@@ -543,7 +543,7 @@ func (fc *fitnessCache) scoreAll(ctx context.Context, pop []Individual) error {
 	}
 	for k, key := range order {
 		if err := ctx.Err(); err != nil {
-			fail(fmt.Errorf("%w: %v", ErrCancelled, err))
+			fail(fmt.Errorf("%w: %w", ErrCancelled, err))
 		}
 		if failed() {
 			break // stop dispatching; in-flight workers drain below

@@ -75,7 +75,7 @@ func TestSearchConvergesToKnownOptimum(t *testing.T) {
 func TestSearchDeterministicGivenSeed(t *testing.T) {
 	a := search(t, 5, quadraticTarget(), Params{PopulationSize: 20, Generations: 8, Seed: 3, Workers: 4})
 	b := search(t, 5, quadraticTarget(), Params{PopulationSize: 20, Generations: 8, Seed: 3, Workers: 1})
-	if a.Best.Fitness != b.Best.Fitness {
+	if math.Float64bits(a.Best.Fitness) != math.Float64bits(b.Best.Fitness) {
 		t.Errorf("same-seed searches differ: %v vs %v", a.Best.Fitness, b.Best.Fitness)
 	}
 	if a.Best.Spec.String() != b.Best.Spec.String() {

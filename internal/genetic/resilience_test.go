@@ -114,7 +114,7 @@ func TestSearchCancelledMidRunReturnsPartial(t *testing.T) {
 		t.Errorf("best-so-far fitness %v not usable", res.Best.Fitness)
 	}
 	// The partial best must match the last completed generation's best.
-	if got, want := res.Best.Fitness, res.History[len(res.History)-1].Best; got != want {
+	if got, want := res.Best.Fitness, res.History[len(res.History)-1].Best; math.Float64bits(got) != math.Float64bits(want) {
 		t.Errorf("partial best %v != last scored generation best %v", got, want)
 	}
 }
@@ -213,7 +213,7 @@ func TestStepwiseCancelled(t *testing.T) {
 func TestSearchDeterminismUnaffectedByPanicMachinery(t *testing.T) {
 	a := search(t, 5, quadraticTarget(), Params{PopulationSize: 16, Generations: 6, Seed: 77, Workers: 3})
 	b := search(t, 5, quadraticTarget(), Params{PopulationSize: 16, Generations: 6, Seed: 77, Workers: 1})
-	if a.Best.Spec.String() != b.Best.Spec.String() || a.Best.Fitness != b.Best.Fitness {
+	if a.Best.Spec.String() != b.Best.Spec.String() || math.Float64bits(a.Best.Fitness) != math.Float64bits(b.Best.Fitness) {
 		t.Errorf("worker-count-dependent result: %v vs %v", a.Best, b.Best)
 	}
 }

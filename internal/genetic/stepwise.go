@@ -44,7 +44,7 @@ func Stepwise(ctx context.Context, numVars int, eval Evaluator, maxEvals int) (*
 	// aborts the search with the partial best.
 	score := func(s regress.Spec) (float64, error) {
 		if err := ctx.Err(); err != nil {
-			return math.Inf(1), fmt.Errorf("%w: %v", ErrCancelled, err)
+			return math.Inf(1), fmt.Errorf("%w: %w", ErrCancelled, err)
 		}
 		evals++
 		return safeFitness(eval, s)

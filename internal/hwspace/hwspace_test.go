@@ -1,6 +1,7 @@
 package hwspace
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -94,9 +95,9 @@ func TestSampleAlwaysValid(t *testing.T) {
 func TestVectorMapping(t *testing.T) {
 	c := Baseline()
 	v := c.Vector()
-	if v[YWidth] != float64(c.Width) || v[YWindow] != float64(c.LSQ) ||
-		v[YAssoc] != float64(c.L1Assoc) || v[YDCacheKB] != float64(c.DCacheKB) ||
-		v[YPorts] != float64(c.Ports) {
+	if math.Float64bits(v[YWidth]) != math.Float64bits(float64(c.Width)) || math.Float64bits(v[YWindow]) != math.Float64bits(float64(c.LSQ)) ||
+		math.Float64bits(v[YAssoc]) != math.Float64bits(float64(c.L1Assoc)) || math.Float64bits(v[YDCacheKB]) != math.Float64bits(float64(c.DCacheKB)) ||
+		math.Float64bits(v[YPorts]) != math.Float64bits(float64(c.Ports)) {
 		t.Errorf("vector %v does not encode %+v", v, c)
 	}
 }

@@ -77,7 +77,7 @@ func TestCholeskySolveInPlaceReusesFactor(t *testing.T) {
 		t.Fatal(err)
 	}
 	for j := range x1 {
-		if x1[j] != x2[j] {
+		if math.Float64bits(x1[j]) != math.Float64bits(x2[j]) {
 			t.Fatalf("Solve and SolveInPlace disagree at %d", j)
 		}
 	}
@@ -208,7 +208,7 @@ func TestFactorPrunedNoOpOnCleanSystem(t *testing.T) {
 		t.Fatal(err)
 	}
 	for j := range x1 {
-		if x1[j] != x2[j] {
+		if math.Float64bits(x1[j]) != math.Float64bits(x2[j]) {
 			t.Fatalf("FactorPruned diverged from Factor at %d: %g vs %g", j, x1[j], x2[j])
 		}
 	}

@@ -36,7 +36,7 @@ func TestInstructionMixCounts(t *testing.T) {
 		XIntMulDiv:     0,
 	}
 	for idx, want := range checks {
-		if p.X[idx] != want {
+		if math.Float64bits(p.X[idx]) != math.Float64bits(want) {
 			t.Errorf("%s = %v, want %v", Names[idx], p.X[idx], want)
 		}
 	}
@@ -161,7 +161,7 @@ func TestProfileIsMicroarchIndependentAndDeterministic(t *testing.T) {
 	app := trace.Hmmer()
 	p1 := Stream(app.ShardStream(4, 20_000), app.Name, 4)
 	p2 := Stream(app.ShardStream(4, 20_000), app.Name, 4)
-	if p1.X != p2.X || p1.SumReuse256 != p2.SumReuse256 {
+	if p1.X != p2.X || math.Float64bits(p1.SumReuse256) != math.Float64bits(p2.SumReuse256) {
 		t.Error("profiles of identical shards differ")
 	}
 }

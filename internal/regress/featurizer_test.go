@@ -71,7 +71,7 @@ func TestFeaturizerDesignMatchesNaive(t *testing.T) {
 		t.Fatalf("%d column descriptors, want %d", len(cachedCols), len(naiveCols))
 	}
 	for i, v := range cached.Data {
-		if v != naive.Data[i] {
+		if math.Float64bits(v) != math.Float64bits(naive.Data[i]) {
 			t.Fatalf("design[%d] = %v, naive %v", i, v, naive.Data[i])
 		}
 	}
@@ -108,16 +108,16 @@ func TestFeaturizerFitParity(t *testing.T) {
 			t.Fatalf("%d coefficients, want %d", len(cached.Coef), len(naive.Coef))
 		}
 		for j := range cached.Coef {
-			if cached.Coef[j] != naive.Coef[j] {
+			if math.Float64bits(cached.Coef[j]) != math.Float64bits(naive.Coef[j]) {
 				t.Errorf("opts %+v: coef[%d] = %v, naive %v", opts, j, cached.Coef[j], naive.Coef[j])
 			}
 		}
-		if cached.YLo != naive.YLo || cached.YHi != naive.YHi || cached.Rank != naive.Rank {
+		if math.Float64bits(cached.YLo) != math.Float64bits(naive.YLo) || math.Float64bits(cached.YHi) != math.Float64bits(naive.YHi) || cached.Rank != naive.Rank {
 			t.Errorf("fit metadata differs: %+v vs %+v", cached, naive)
 		}
 		// Predictions through both models must agree on the training rows.
 		for i := 0; i < ds.NumRows(); i += 7 {
-			if c, n := cached.Predict(ds.X.Row(i)), naive.Predict(ds.X.Row(i)); c != n {
+			if c, n := cached.Predict(ds.X.Row(i)), naive.Predict(ds.X.Row(i)); math.Float64bits(c) != math.Float64bits(n) {
 				t.Errorf("prediction row %d: %v vs %v", i, c, n)
 			}
 		}
@@ -143,7 +143,7 @@ func TestFeaturizerDesignRows(t *testing.T) {
 	}
 	for i, r := range rows {
 		for j := 0; j < full.Cols; j++ {
-			if sub.Row(i)[j] != full.Row(r)[j] {
+			if math.Float64bits(sub.Row(i)[j]) != math.Float64bits(full.Row(r)[j]) {
 				t.Fatalf("subset row %d col %d = %v, want %v", i, j, sub.Row(i)[j], full.Row(r)[j])
 			}
 		}
@@ -154,7 +154,7 @@ func TestFeaturizerDesignRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, r := range rows {
-		if got, want := m.PredictDesignRow(sub.Row(i)), m.Predict(ds.X.Row(r)); got != want {
+		if got, want := m.PredictDesignRow(sub.Row(i)), m.Predict(ds.X.Row(r)); math.Float64bits(got) != math.Float64bits(want) {
 			t.Errorf("row %d: PredictDesignRow %v, Predict %v", r, got, want)
 		}
 	}
@@ -216,7 +216,7 @@ func TestFeaturizeWithSharesPrep(t *testing.T) {
 		t.Fatal(err)
 	}
 	for j := range cached.Coef {
-		if cached.Coef[j] != naive.Coef[j] {
+		if math.Float64bits(cached.Coef[j]) != math.Float64bits(naive.Coef[j]) {
 			t.Fatalf("coef[%d] = %v, want %v", j, cached.Coef[j], naive.Coef[j])
 		}
 	}

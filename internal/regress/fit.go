@@ -141,7 +141,7 @@ func fitDesign(spec Spec, prep *Prep, design *linalg.Matrix, cols []Column, resp
 	coef, err := f.Solve(y)
 	if err != nil {
 		if errors.Is(err, linalg.ErrRankDeficient) {
-			return nil, fmt.Errorf("%w: %v", ErrSingular, err)
+			return nil, fmt.Errorf("%w: %w", ErrSingular, err)
 		}
 		return nil, err
 	}

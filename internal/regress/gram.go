@@ -333,8 +333,8 @@ type gramScratch struct {
 	gcopy []float64 // equilibrated sub-Gram preserved across Factor, for refinement
 	rhsk  []float64 // compacted equilibrated right-hand side
 	resid []float64 // refinement residual / correction
-	miss  []uint64 // keys of cold entries
-	missP []int32  // packed (row<<16|col) positions of cold entries
+	miss  []uint64  // keys of cold entries
+	missP []int32   // packed (row<<16|col) positions of cold entries
 	chol  linalg.Cholesky
 }
 

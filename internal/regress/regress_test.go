@@ -271,7 +271,7 @@ func TestDatasetSubsetAppend(t *testing.T) {
 		ds.Group[i] = i % 3
 	}
 	sub := ds.Subset([]int{1, 3, 5})
-	if sub.NumRows() != 3 || sub.Y[0] != ds.Y[1] || sub.Group[2] != ds.Group[5] {
+	if sub.NumRows() != 3 || math.Float64bits(sub.Y[0]) != math.Float64bits(ds.Y[1]) || sub.Group[2] != ds.Group[5] {
 		t.Error("Subset wrong")
 	}
 	// Mutating the subset must not touch the parent.
@@ -280,7 +280,7 @@ func TestDatasetSubsetAppend(t *testing.T) {
 		t.Error("Subset aliases parent storage")
 	}
 	both := ds.Append(sub)
-	if both.NumRows() != 13 || both.Y[10] != sub.Y[0] {
+	if both.NumRows() != 13 || math.Float64bits(both.Y[10]) != math.Float64bits(sub.Y[0]) {
 		t.Error("Append wrong")
 	}
 	if err := both.Check(); err != nil {

@@ -126,7 +126,7 @@ func TestGeomSamplerMatchesMean(t *testing.T) {
 	s := New(12)
 	for _, mean := range []float64{1, 2, 2.9, 3.5, 8, 50, 400} {
 		g := NewGeom(mean)
-		if g.Mean() != mean {
+		if math.Float64bits(g.Mean()) != math.Float64bits(mean) {
 			t.Fatalf("Mean() = %v, want %v", g.Mean(), mean)
 		}
 		var sum float64

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -68,7 +69,7 @@ func TestBatcherContextCancel(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := b.predict(ctx, valid[0].X, valid[0].HW); err != context.Canceled {
+	if _, err := b.predict(ctx, valid[0].X, valid[0].HW); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	// The batcher still works for live callers afterwards.
@@ -83,7 +84,7 @@ func TestBatcherUntrained(t *testing.T) {
 	_, valid := testData(t)
 	b := newBatcher(tr.Snapshot, 8, time.Millisecond, 8, nil)
 	defer b.Close()
-	if _, err := b.predict(context.Background(), valid[0].X, valid[0].HW); err != core.ErrNotTrained {
+	if _, err := b.predict(context.Background(), valid[0].X, valid[0].HW); !errors.Is(err, core.ErrNotTrained) {
 		t.Fatalf("err = %v, want ErrNotTrained", err)
 	}
 }

@@ -149,7 +149,13 @@ type snapshotState struct {
 	trained bool
 }
 
-// writeTo renders the full exposition page.
+// writeTo renders the full exposition page. Lock coverage on the read path:
+// the requests map is copied under mu before rendering; every histogram and
+// counter read is an atomic load (a bucket/sum/count triple may be mutually
+// torn mid-observation, which skews one scrape by at most one in-flight
+// event and never corrupts monotonicity); the latency map itself is written
+// only in newMetrics. TestMetricsScrapeDuringPredictLoad holds this under
+// -race.
 func (m *metrics) writeTo(w io.Writer, snap snapshotState) {
 	io.WriteString(w, "# HELP hsserve_requests_total HTTP requests served, by endpoint and status code.\n")
 	io.WriteString(w, "# TYPE hsserve_requests_total counter\n")

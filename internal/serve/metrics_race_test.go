@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hsmodel/pkg/hsmodel"
+)
+
+// TestMetricsScrapeDuringPredictLoad hammers /v1/predict from 32 concurrent
+// clients while the main goroutine scrapes /metrics in a tight loop. Under
+// -race this pins the audited read-path contract: histogram scrapes are
+// atomic loads against concurrent observations, and writeTo copies the
+// requests map under the mutex before rendering, so a scrape never walks a
+// map another request is incrementing. The final scrape must also account
+// for every predict exactly once.
+func TestMetricsScrapeDuringPredictLoad(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, valid := testData(t)
+	v := valid[0]
+
+	req := hsmodel.PredictRequest{X: v.X[:]}
+	hw := v.HW
+	req.Config = &hw
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 32
+	const perClient = 20
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					t.Errorf("predict: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("predict status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	scrape := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics status %d", resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	loading := true
+	for loading {
+		select {
+		case <-done:
+			loading = false
+		default:
+		}
+		body := scrape()
+		if !strings.Contains(body, "hsserve_model_trained 1") {
+			t.Fatal("scrape under load is missing the trained gauge")
+		}
+	}
+
+	// observeRequest runs after the handler returns, so the last increments
+	// can trail the clients' view of completion; give them a moment.
+	want := fmt.Sprintf(`hsserve_requests_total{endpoint="predict",code="200"} %d`, clients*perClient)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		body := scrape()
+		if strings.Contains(body, want) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("final scrape never showed %q; last scrape:\n%s", want, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

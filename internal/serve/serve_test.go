@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -301,7 +302,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 			switch {
 			case err == nil && cpi > 0:
 				answered.Add(1)
-			case err == ErrClosed:
+			case errors.Is(err, ErrClosed):
 				rejected.Add(1)
 			default:
 				t.Errorf("request %d: cpi=%v err=%v", i, cpi, err)
@@ -334,7 +335,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 	t.Logf("answered %d, cleanly rejected %d", answered.Load(), rejected.Load())
 	// After Close, new submissions are rejected, not lost.
-	if _, err := s.batcher.predict(context.Background(), valid[0].X, valid[0].HW); err != ErrClosed {
+	if _, err := s.batcher.predict(context.Background(), valid[0].X, valid[0].HW); !errors.Is(err, ErrClosed) {
 		t.Errorf("post-close predict err = %v, want ErrClosed", err)
 	}
 }

@@ -169,7 +169,7 @@ func (s *Server) observeSnapshot() (uint64, time.Time, *core.Snapshot) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	if snap != s.snapLast {
-		s.snapLast = snap
+		s.snapLast = snap //hslint:ignore snapimmutable snapLast is a scrape-time identity cache guarded by snapMu, not the served pointer (that stays in the Trainer's atomic.Pointer)
 		s.snapVersion++
 		s.snapSince = time.Now()
 	}

@@ -95,7 +95,7 @@ func TestFigure11Example(t *testing.T) {
 		t.Fatalf("stored %d values, want %d", len(b.Val), len(want))
 	}
 	for i, v := range want {
-		if b.Val[i] != v {
+		if math.Float64bits(b.Val[i]) != math.Float64bits(v) {
 			t.Fatalf("b_value[%d] = %v, want %v (full: %v)", i, b.Val[i], v, b.Val)
 		}
 	}
@@ -185,7 +185,7 @@ func TestCorpusDeterministic(t *testing.T) {
 		t.Fatal("matrix generation not deterministic")
 	}
 	for i := range a.Val {
-		if a.Val[i] != b.Val[i] || a.ColIdx[i] != b.ColIdx[i] {
+		if math.Float64bits(a.Val[i]) != math.Float64bits(b.Val[i]) || a.ColIdx[i] != b.ColIdx[i] {
 			t.Fatal("matrix generation not deterministic")
 		}
 	}
@@ -352,7 +352,7 @@ func TestTuneOrdering(t *testing.T) {
 func TestCacheConfigVectorAndString(t *testing.T) {
 	cfg := BaselineCache()
 	v := cfg.Vector()
-	if v[0] != float64(cfg.LineBytes) || v[1] != float64(cfg.DSizeBytes) {
+	if math.Float64bits(v[0]) != math.Float64bits(float64(cfg.LineBytes)) || math.Float64bits(v[1]) != math.Float64bits(float64(cfg.DSizeBytes)) {
 		t.Errorf("vector %v", v)
 	}
 	if cfg.String() == "" {

@@ -270,7 +270,7 @@ func Ranks(xs []float64) []float64 {
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] { //hslint:ignore floateq tie-group detection over sorted data values is semantic equality; Float64bits would split the -0/+0 tie
 			j++
 		}
 		// Mean rank of the tie group [i, j].

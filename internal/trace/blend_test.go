@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"testing"
 
 	"hsmodel/internal/isa"
@@ -35,7 +36,7 @@ func TestBlendPhaseInterpolates(t *testing.T) {
 	}
 	// Alpha 0 is the identity on blended fields.
 	same := blendPhase(a, b, 0)
-	if same.MeanBB != a.MeanBB || same.Mix != a.Mix {
+	if math.Float64bits(same.MeanBB) != math.Float64bits(a.MeanBB) || same.Mix != a.Mix {
 		t.Error("alpha 0 should reproduce phase a")
 	}
 }
@@ -57,7 +58,7 @@ func TestDeriveHiddenKnobs(t *testing.T) {
 		t.Errorf("derived LoopBackProb %v", p.LoopBackProb)
 	}
 	// Producer weights follow the mix.
-	if p.DepProducer[0] != p.Mix[0] || p.DepProducer[4] != p.Mix[4] {
+	if math.Float64bits(p.DepProducer[0]) != math.Float64bits(p.Mix[0]) || math.Float64bits(p.DepProducer[4]) != math.Float64bits(p.Mix[4]) {
 		t.Errorf("derived producers %v do not track mix %v", p.DepProducer, p.Mix)
 	}
 	// Explicit values are honored.
