@@ -30,9 +30,13 @@ bench-smoke:
 
 # serve-smoke boots the hsserve HTTP service on a random loopback port,
 # drives one predict, one coalescing batch, a samples POST, and a metrics
-# scrape through a real client, and exits non-zero on any mismatch.
+# scrape through a real client, and exits non-zero on any mismatch. It then
+# replays a scripted drift episode through the continuous-learning loop
+# (faultinject schedule, fixed seeds) and fails unless exactly one promotion
+# and one rollback occur.
 serve-smoke:
 	$(GO) run ./cmd/hsserve -selfcheck
+	$(GO) run ./cmd/hsserve -driftcheck
 
 # ci is the gate: compile, static analysis (go vet plus the repo's own
 # hslint invariant checks), plain tests, then the race detector over the

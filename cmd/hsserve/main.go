@@ -6,7 +6,9 @@
 //
 //	hsserve -model model.json                   serve a persisted snapshot
 //	hsserve -bootstrap -samples 40 -apps 3      train in-process, then serve
+//	hsserve -lifecycle -bootstrap               continuous learning on /v1/samples
 //	hsserve -selfcheck                          one-process smoke test (CI)
+//	hsserve -driftcheck                         scripted drift episode smoke test (CI)
 //
 // SIGHUP hot-reloads the snapshot from -model without dropping requests;
 // SIGINT/SIGTERM shut down gracefully, draining in-flight batches.
@@ -29,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"hsmodel/internal/faultinject"
 	"hsmodel/internal/serve"
 	"hsmodel/internal/trace"
 	"hsmodel/pkg/hsmodel"
@@ -48,6 +51,11 @@ func main() {
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "batcher wait to fill a batch")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
 	selfcheck := flag.Bool("selfcheck", false, "bootstrap a tiny model, exercise the API over loopback, exit")
+	lifecycleOn := flag.Bool("lifecycle", false, "run the continuous-learning control loop on /v1/samples (bounded stores, drift detection, canary-gated retrains)")
+	driftThreshold := flag.Float64("drift-threshold", 0, "lifecycle: accumulated excess error (CUSUM mass) that trips the drift detector (0 = default)")
+	minProfiles := flag.Int("min-profiles", 0, "lifecycle: fresh post-drift profiles required before a shadow retrain (0 = default)")
+	canaryTolerance := flag.Float64("canary-tolerance", 0, "lifecycle: relative slack a candidate gets on the canary set before promotion (0 = default)")
+	driftcheck := flag.Bool("driftcheck", false, "scripted drift episode over loopback: assert one promotion and one rollback, exit")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "hsserve: ", log.LstdFlags)
@@ -58,6 +66,13 @@ func main() {
 		logger.Println("selfcheck passed")
 		return
 	}
+	if *driftcheck {
+		if err := runDriftCheck(logger); err != nil {
+			logger.Fatalf("driftcheck FAILED: %v", err)
+		}
+		logger.Println("driftcheck passed")
+		return
+	}
 
 	tr := hsmodel.New(nil, hsmodel.WithSeed(*seed), hsmodel.WithShardLen(*shardLen))
 	if *bootstrap {
@@ -66,14 +81,25 @@ func main() {
 		}
 	}
 
-	srv, err := serve.New(serve.Config{
+	scfg := serve.Config{
 		Trainer:        tr,
 		MaxBatch:       *maxBatch,
 		MaxWait:        *maxWait,
 		RequestTimeout: *timeout,
 		ModelPath:      *modelPath,
 		Logger:         logger,
-	})
+	}
+	if *lifecycleOn {
+		lc := hsmodel.LifecycleConfig{
+			MinProfiles:     *minProfiles,
+			CanaryTolerance: *canaryTolerance,
+			Seed:            *seed,
+		}
+		lc.Drift.Threshold = *driftThreshold
+		scfg.Lifecycle = &lc
+		logger.Println("lifecycle: continuous learning enabled on /v1/samples")
+	}
+	srv, err := serve.New(scfg)
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -243,6 +269,145 @@ func runSelfcheck(logger *log.Logger) error {
 	}
 	logger.Println("metrics ok")
 	return nil
+}
+
+// runDriftCheck is the CI smoke test for the continuous-learning loop: it
+// scripts the two decisive lifecycle outcomes end to end through a real HTTP
+// client — a persistent regime shift the loop must adapt to (exactly one
+// promotion) and a transient label poisoning the loop must refuse (exactly
+// one rollback) — and fails unless both happen. Every ingredient is seeded,
+// so the episodes replay identically run to run.
+func runDriftCheck(logger *log.Logger) error {
+	apps := []*trace.App{trace.Bzip2(), trace.Hmmer(), trace.Sjeng()}
+	col := &hsmodel.Collector{ShardLen: 20_000, ShardPool: 12}
+	logger.Println("driftcheck: collecting bootstrap and stream profiles...")
+	train := col.Collect(apps, 40, 7)
+	stream := col.Collect(apps, 30, 21)
+
+	// Phase 1 — promotion: a persistent x1.6 label shift (~37% incumbent
+	// error against a ~5% clean baseline) trips the detector, the shadow
+	// candidate fits the shifted regime and wins the canary.
+	st, err := driveDriftEpisode(logger, train, stream, 11, 0, &faultinject.DriftSchedule{
+		Segments: []faultinject.DriftSegment{{From: 1, Factor: 1.6}},
+	})
+	if err != nil {
+		return fmt.Errorf("promotion phase: %w", err)
+	}
+	if st.Promotions != 1 || st.Rollbacks != 0 {
+		return fmt.Errorf("promotion phase: promotions=%d rollbacks=%d, want exactly 1/0 (status %+v)", st.Promotions, st.Rollbacks, st)
+	}
+	logger.Printf("promotion ok: state %s after %d submissions", st.State, st.Submissions)
+
+	// Phase 2 — rollback: a transient x3 shift that ends before the retrain
+	// fires poisons the gathered store; the candidate fits a biased mixture,
+	// loses the canary against the clean incumbent, and must be rolled back.
+	st, err = driveDriftEpisode(logger, train, stream, 5, 0.05, &faultinject.DriftSchedule{
+		Segments: []faultinject.DriftSegment{{From: 11, To: 24, Factor: 3}},
+	})
+	if err != nil {
+		return fmt.Errorf("rollback phase: %w", err)
+	}
+	if st.Rollbacks != 1 || st.Promotions != 0 {
+		return fmt.Errorf("rollback phase: promotions=%d rollbacks=%d, want exactly 0/1 (status %+v)", st.Promotions, st.Rollbacks, st)
+	}
+	if st.State != "cooldown" {
+		return fmt.Errorf("rollback phase: state %q, want cooldown", st.State)
+	}
+	logger.Printf("rollback ok: canary %.3f vs incumbent %.3f, cooling down for %d submissions",
+		st.CanaryErr, st.IncumbentErr, st.CooldownRemaining)
+	return nil
+}
+
+// driveDriftEpisode boots a freshly trained server with the lifecycle loop
+// enabled, streams schedule-perturbed profiles through POST /v1/samples one
+// at a time — waiting out any in-flight episode between submissions so the
+// outcome is fully determined by the seeds — and returns the loop status
+// once a promotion or rollback lands.
+func driveDriftEpisode(logger *log.Logger, train, stream []hsmodel.Sample, seed uint64, canaryTol float64, sched *faultinject.DriftSchedule) (hsmodel.LifecycleStatus, error) {
+	var st hsmodel.LifecycleStatus
+
+	tr := hsmodel.New(append([]hsmodel.Sample(nil), train...),
+		hsmodel.WithShardLen(20_000),
+		hsmodel.WithSearch(hsmodel.SearchParams{PopulationSize: 10, Generations: 2, Seed: 3}))
+	if err := tr.Train(context.Background()); err != nil {
+		return st, err
+	}
+
+	srv, err := serve.New(serve.Config{
+		Trainer: tr,
+		MaxWait: time.Millisecond,
+		Logger:  logger,
+		Lifecycle: &hsmodel.LifecycleConfig{
+			Drift:           hsmodel.DriftConfig{Target: 0.2},
+			MinProfiles:     10,
+			MinTrainRows:    24,
+			ReservoirCap:    64,
+			RingCap:         32,
+			CanaryTolerance: canaryTol,
+			Seed:            seed,
+			Resilience:      hsmodel.Resilience{StepwiseBudget: 150},
+		},
+	})
+	if err != nil {
+		return st, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return st, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		hs.Shutdown(ctx)
+		cancel()
+		srv.Close()
+	}()
+
+	deadline := time.Now().Add(3 * time.Minute)
+	for i := 0; ; i++ {
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("no episode outcome within deadline (status %+v)", st)
+		}
+		v := stream[i%len(stream)]
+		v.CPI, _ = sched.Next(v.CPI)
+		var sr hsmodel.SamplesResponse
+		if err := postJSON(base+"/v1/samples", hsmodel.SamplesRequest{
+			Samples: []hsmodel.SampleWire{hsmodel.SampleToWire(v)},
+		}, &sr); err != nil {
+			return st, fmt.Errorf("submission %d: %w", i+1, err)
+		}
+		// Wait out the background episode so the submission order alone
+		// determines what the loop sees.
+		for {
+			if err := getJSON(base+"/v1/lifecycle", &st); err != nil {
+				return st, err
+			}
+			if st.State != "retraining" && st.State != "canary" {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if st.Promotions > 0 || st.Rollbacks > 0 {
+			return st, nil
+		}
+	}
+}
+
+// getJSON GETs url and decodes the response into out, failing on non-200.
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e hsmodel.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // postJSON POSTs v and decodes the response into out, failing on non-200.

@@ -7,10 +7,11 @@ import (
 )
 
 // CtxFlow enforces the cancellation discipline PR 1 threaded through the
-// engine: exported entry points of the training/search/serving packages
-// (core, genetic, serve) that loop over cancellable work — generations,
-// shards, queued requests — must accept a context.Context (or *http.Request,
-// whose context serves) and actually use it. Concretely, an exported
+// engine: exported entry points of the training/search/serving/lifecycle
+// packages (core, genetic, serve, lifecycle) that loop over cancellable work
+// — generations, shards, queued requests, retrain episodes — must accept a
+// context.Context (or *http.Request, whose context serves) and actually use
+// it. Concretely, an exported
 // function is flagged when a loop in its body performs cancellable work —
 // calls a function that itself takes a context, blocks on a channel or
 // select, or sleeps — while the function either has no context-carrying
@@ -23,11 +24,11 @@ import (
 // is its documented contract. Test files are exempt.
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
-	Doc:  "exported core/genetic/serve functions looping over cancellable work must accept and use a context",
+	Doc:  "exported core/genetic/serve/lifecycle functions looping over cancellable work must accept and use a context",
 	Run:  runCtxFlow,
 }
 
-var ctxFlowPkgs = map[string]bool{"core": true, "genetic": true, "serve": true}
+var ctxFlowPkgs = map[string]bool{"core": true, "genetic": true, "serve": true, "lifecycle": true}
 
 func runCtxFlow(pass *Pass) {
 	if !ctxFlowPkgs[pass.PkgName] {

@@ -1,0 +1,60 @@
+// Fixture extending the ctxflow analyzer to the lifecycle package: the
+// continuous-learning loop runs retrain episodes on background goroutines, so
+// its exported entry points that loop over cancellable work — training calls,
+// episode polling, channel waits — must accept a context and use it.
+package lifecycle
+
+import (
+	"context"
+	"time"
+)
+
+func retrain(ctx context.Context) error { return ctx.Err() }
+
+// RunEpisodes retries the retrain ladder with no way for callers to stop a
+// stuck episode.
+func RunEpisodes(n int) {
+	for i := 0; i < n; i++ { // want `exported RunEpisodes loops over cancellable work but has no context.Context parameter`
+		_ = retrain(context.Background())
+	}
+}
+
+// RunEpisodesCtx threads the episode context through. Legal.
+func RunEpisodesCtx(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := retrain(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AwaitPromotion polls the loop state on the clock, holding its context
+// hostage. The analyzer demands the ctx actually gate the wait.
+func AwaitPromotion(ctx context.Context, done func() bool) {
+	for !done() { // want `exported AwaitPromotion accepts a context but never uses it`
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Submit is the hot path: bounded bookkeeping, no cancellable work, no
+// context needed. Legal.
+func Submit(counts map[string]int, app string) {
+	for k := range counts {
+		if k == app {
+			counts[k]++
+		}
+	}
+}
+
+type loop struct {
+	episodes chan struct{}
+}
+
+// Close drains in-flight episodes on shutdown: io.Closer's shape is fixed,
+// so it is exempt.
+func (l *loop) Close() error {
+	for range l.episodes {
+	}
+	return nil
+}

@@ -82,6 +82,14 @@ type TrainReport struct {
 	GeneticErr  error // why the genetic rung failed (or nil)
 	StepwiseErr error // why the stepwise rung failed or was skipped (or nil)
 	LoadErr     error // why reloading LastGoodPath failed (or nil)
+	// SampleVersion and SampleRows identify the sample-store state the
+	// episode's searches fit against: every rung of one episode trains on the
+	// same captured version, so samples added mid-episode are all-or-nothing
+	// (compare SampleVersion against Trainer.StoreVersion to detect drift
+	// between the served model and the current store). Zero when no rung ran
+	// a search (for example an empty store).
+	SampleVersion uint64
+	SampleRows    int
 	// GramFits and QRFallbacks count how candidate fits were served during
 	// this training attempt's evaluator lifetime: the O(p³) Gram/Cholesky
 	// fast path versus the pivoted-QR fallback (ill-conditioned or
@@ -124,6 +132,12 @@ func (t TrainReport) String() string {
 // the model keeps answering while it is re-specified, even when
 // re-specification goes wrong — concurrent PredictShard calls read whichever
 // snapshot is current throughout the ladder.
+//
+// The whole episode is atomic with respect to other training runs (it holds
+// the training mutex across every rung) and fits against one captured
+// sample-store version: samples that arrive mid-episode influence neither
+// the genetic nor the stepwise rung, and take effect at the next run. The
+// report's SampleVersion/SampleRows record the capture.
 func (m *Trainer) TrainResilient(ctx context.Context, r Resilience) (rep TrainReport, err error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -134,26 +148,38 @@ func (m *Trainer) TrainResilient(ctx context.Context, r Resilience) (rep TrainRe
 		rep.GramFits, rep.QRFallbacks = s.GramFits, s.QRFallbacks
 	}()
 
-	gctx := ctx
-	if r.SearchTimeout > 0 {
-		var cancel context.CancelFunc
-		gctx, cancel = context.WithTimeout(ctx, r.SearchTimeout)
-		defer cancel()
-	}
-	if err := m.Train(gctx); err == nil {
-		rep.Rung = RungGenetic
-		return rep, nil
-	} else {
-		rep.GeneticErr = err
-	}
+	m.trainMu.Lock()
+	defer m.trainMu.Unlock()
 
-	if err := ctx.Err(); err != nil {
-		rep.StepwiseErr = fmt.Errorf("core: stepwise rung skipped: %w", err)
-	} else if err := m.trainStepwise(ctx, r.StepwiseBudget); err == nil {
-		rep.Rung = RungStepwise
-		return rep, nil
+	cap, capErr := m.captureEvaluator()
+	if capErr != nil {
+		// No evaluator means no search can run at any rung; degrade straight
+		// to the last-good fallbacks below.
+		rep.GeneticErr = capErr
+		rep.StepwiseErr = fmt.Errorf("core: stepwise rung skipped: %w", capErr)
 	} else {
-		rep.StepwiseErr = err
+		rep.SampleVersion, rep.SampleRows = cap.version, cap.rows
+		gctx := ctx
+		if r.SearchTimeout > 0 {
+			var cancel context.CancelFunc
+			gctx, cancel = context.WithTimeout(ctx, r.SearchTimeout)
+			defer cancel()
+		}
+		if err := m.train(gctx, nil, cap); err == nil {
+			rep.Rung = RungGenetic
+			return rep, nil
+		} else {
+			rep.GeneticErr = err
+		}
+
+		if err := ctx.Err(); err != nil {
+			rep.StepwiseErr = fmt.Errorf("core: stepwise rung skipped: %w", err)
+		} else if err := m.trainStepwise(ctx, r.StepwiseBudget, cap); err == nil {
+			rep.Rung = RungStepwise
+			return rep, nil
+		} else {
+			rep.StepwiseErr = err
+		}
 	}
 
 	if r.LastGoodPath != "" {
@@ -174,25 +200,13 @@ func (m *Trainer) TrainResilient(ctx context.Context, r Resilience) (rep TrainRe
 		rep.GeneticErr, rep.StepwiseErr)
 }
 
-// trainStepwise is the stepwise rung: same featurized evaluator and final-fit
-// protocol as train, but driven by the cheap forward stepwise search. Like
-// train, it serializes on trainMu and holds mu only to capture the evaluator
-// and to publish, so sample mutation and predictions proceed during the
-// search.
-func (m *Trainer) trainStepwise(ctx context.Context, budget int) error {
-	m.trainMu.Lock()
-	defer m.trainMu.Unlock()
-	m.mu.Lock()
-	if len(m.samples) == 0 {
-		m.mu.Unlock()
-		return ErrNoSamples
-	}
-	base, err := m.cachedEvaluator()
-	if err != nil {
-		m.mu.Unlock()
-		return fmt.Errorf("core: featurizing samples: %w", err)
-	}
-	m.mu.Unlock()
+// trainStepwise is the stepwise rung: same final-fit protocol as train, but
+// driven by the cheap forward stepwise search over the episode's captured
+// evaluator — the rung fits exactly the rows the genetic rung saw, never a
+// store that moved mid-episode. Callers must hold trainMu (and must NOT hold
+// mu), so sample mutation and predictions proceed during the search.
+func (m *Trainer) trainStepwise(ctx context.Context, budget int, cap capturedEval) error {
+	base := cap.ev
 	var ev genetic.Evaluator = base
 	if m.WrapEvaluator != nil {
 		ev = m.WrapEvaluator(ev)
@@ -208,6 +222,6 @@ func (m *Trainer) trainStepwise(ctx context.Context, budget int) error {
 	m.mu.Lock()
 	m.population = res.Population
 	m.mu.Unlock()
-	m.publish(model, RungStepwise, base.fz.NumRows())
+	m.publish(model, RungStepwise, cap.rows)
 	return nil
 }

@@ -76,6 +76,14 @@ func (f FitnessConfig) withDefaults() FitnessConfig {
 // lock only to publish results. Samples added mid-run therefore do not block
 // behind the search and take effect at the next Train or Update — the
 // streaming-profiles behavior the serving layer (internal/serve) relies on.
+//
+// Consistency contract: a training run (and, since the lifecycle work, an
+// entire TrainResilient episode — every ladder rung) fits against exactly one
+// captured sample-store version. Samples that arrive after the capture are
+// all-or-nothing: they are never half-included in the published model, and
+// the TrainReport records the version (SampleVersion) and row count
+// (SampleRows) actually trained against so callers can audit what the served
+// snapshot reflects.
 type Trainer struct {
 	// Search configures the genetic heuristic.
 	Search genetic.Params
@@ -167,6 +175,15 @@ func (m *Trainer) NumSamples() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.samples)
+}
+
+// StoreVersion returns the sample-store mutation counter: it advances on
+// every AddSamples/SetSamples. Comparing it against TrainReport.SampleVersion
+// tells whether the served model reflects the current store.
+func (m *Trainer) StoreVersion() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
 }
 
 // AddSamples appends new profiles to the store (they take effect at the next
@@ -350,7 +367,11 @@ func (m *Trainer) SumOfMedianErrors(fitness float64) float64 {
 func (m *Trainer) Train(ctx context.Context) error {
 	m.trainMu.Lock()
 	defer m.trainMu.Unlock()
-	return m.train(ctx, nil)
+	cap, err := m.captureEvaluator()
+	if err != nil {
+		return err
+	}
+	return m.train(ctx, nil, cap)
 }
 
 // Update re-specifies and refits the model after the sample store changed,
@@ -361,13 +382,43 @@ func (m *Trainer) Train(ctx context.Context) error {
 func (m *Trainer) Update(ctx context.Context) error {
 	m.trainMu.Lock()
 	defer m.trainMu.Unlock()
+	cap, err := m.captureEvaluator()
+	if err != nil {
+		return err
+	}
 	m.mu.Lock()
 	var seeds []regress.Spec
 	for _, ind := range m.population {
 		seeds = append(seeds, ind.Spec)
 	}
 	m.mu.Unlock()
-	return m.train(ctx, seeds)
+	return m.train(ctx, seeds, cap)
+}
+
+// capturedEval pins a training run (or a whole resilient episode) to one
+// sample-store version: the featurized evaluator, the version counter it was
+// built from, and the row count it covers. Every rung that fits against the
+// same capture trains on exactly the same rows — late-arriving samples are
+// never half-included.
+type capturedEval struct {
+	ev      *evaluator
+	version uint64
+	rows    int
+}
+
+// captureEvaluator atomically snapshots the evaluator and the store version
+// it reflects. Callers must hold trainMu (and must NOT hold mu).
+func (m *Trainer) captureEvaluator() (capturedEval, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.samples) == 0 {
+		return capturedEval{}, ErrNoSamples
+	}
+	ev, err := m.cachedEvaluator()
+	if err != nil {
+		return capturedEval{}, fmt.Errorf("core: featurizing samples: %w", err)
+	}
+	return capturedEval{ev: ev, version: m.version, rows: len(m.samples)}, nil
 }
 
 // cachedEvaluator returns the featurized evaluator for the current samples
@@ -400,20 +451,12 @@ func (m *Trainer) publish(model *regress.Model, rung Rung, rows int) {
 }
 
 // train is the shared genetic-rung body. Callers must hold m.trainMu (and
-// must NOT hold m.mu): the evaluator is captured under m.mu at the start,
+// must NOT hold m.mu) and pass the evaluator capture the run fits against:
 // the search runs without any lock, and results are published under m.mu at
 // the end, so sample mutation and predictions proceed during the search.
-func (m *Trainer) train(ctx context.Context, initial []regress.Spec) error {
+func (m *Trainer) train(ctx context.Context, initial []regress.Spec, cap capturedEval) error {
+	base := cap.ev
 	m.mu.Lock()
-	if len(m.samples) == 0 {
-		m.mu.Unlock()
-		return ErrNoSamples
-	}
-	base, err := m.cachedEvaluator()
-	if err != nil {
-		m.mu.Unlock()
-		return fmt.Errorf("core: featurizing samples: %w", err)
-	}
 	m.history = nil
 	m.mu.Unlock()
 
@@ -447,7 +490,7 @@ func (m *Trainer) train(ctx context.Context, initial []regress.Spec) error {
 	if err != nil {
 		return fmt.Errorf("core: final fit failed: %w", err)
 	}
-	m.publish(model, RungGenetic, base.fz.NumRows())
+	m.publish(model, RungGenetic, cap.rows)
 	return nil
 }
 

@@ -1,0 +1,99 @@
+// Drift injection: scripted perturbation of sample labels on a submission
+// schedule, so continuous-learning episodes (drift detected → gather →
+// retrain → canary → promote/rollback) replay exactly in tests. A
+// DriftSchedule is a pure function of the submission index and its seed — no
+// wall clock, no global randomness — mirroring the package's evaluator and
+// file injectors. It deliberately operates on raw CPI labels rather than
+// core.Sample so the package keeps its genetic/regress/rng-only dependency
+// surface (core's in-package tests import faultinject).
+package faultinject
+
+import (
+	"math"
+	"sync/atomic"
+
+	"hsmodel/internal/rng"
+)
+
+// DriftSegment perturbs labels over a half-open window of the submission
+// stream. Segments model the paper's "system perturbed by new software or
+// hardware" as label shifts:
+//
+//   - a step shift (Factor, Ramp 0): the regime jumps at From;
+//   - a ramp shift (Factor, Ramp n): the regime drifts linearly from
+//     unperturbed to Factor over n submissions — gradual wear, thermal
+//     throttling;
+//   - noise (Noise > 0): multiplicative lognormal jitter, the garbage a
+//     misbehaving collector feeds the store during a transient.
+type DriftSegment struct {
+	// From is the first submission (1-indexed) the segment applies to.
+	From int
+	// To is the last submission the segment applies to; 0 means open-ended.
+	To int
+	// Factor is the multiplicative label shift at full strength. 0 is
+	// treated as 1 (no shift), so a pure-noise segment needs no Factor.
+	Factor float64
+	// Ramp linearly interpolates the shift from 1 to Factor over the first
+	// Ramp submissions of the segment; 0 applies Factor as a step.
+	Ramp int
+	// Noise, when positive, multiplies the label by exp(Noise·u) with
+	// u uniform in [-1, 1) drawn deterministically from (Seed, submission
+	// index). The lognormal form keeps labels positive, so log-response
+	// training sees garbage rather than NaNs.
+	Noise float64
+}
+
+// DriftSchedule scripts label perturbations over a submission stream.
+// Overlapping segments compose multiplicatively. The zero schedule is a
+// transparent pass-through. Next is safe for concurrent use (the submission
+// counter is atomic), though scripted episodes are normally serial.
+type DriftSchedule struct {
+	Segments []DriftSegment
+	// Seed determinizes segment noise.
+	Seed uint64
+
+	n atomic.Int64
+}
+
+// factorAt returns the composed multiplicative shift for submission n.
+func (d *DriftSchedule) factorAt(n int) float64 {
+	f := 1.0
+	for _, seg := range d.Segments {
+		if n < seg.From || (seg.To > 0 && n > seg.To) {
+			continue
+		}
+		sf := seg.Factor
+		if sf == 0 {
+			sf = 1
+		}
+		if seg.Ramp > 0 && n < seg.From+seg.Ramp {
+			frac := float64(n-seg.From+1) / float64(seg.Ramp)
+			sf = 1 + (sf-1)*frac
+		}
+		f *= sf
+		if seg.Noise > 0 {
+			// One value per (seed, submission): forks are stable regardless
+			// of how many segments consult the stream position.
+			u := 2*rng.New(d.Seed).Fork(uint64(n)).Float64() - 1
+			f *= math.Exp(seg.Noise * u)
+		}
+	}
+	return f
+}
+
+// At returns the perturbed label for submission n (1-indexed) without
+// advancing the schedule — the pure form, for tests that precompute streams.
+func (d *DriftSchedule) At(n int, label float64) float64 {
+	return label * d.factorAt(n)
+}
+
+// Next perturbs the label of the next submission and advances the stream
+// position. It returns the perturbed label and the 1-indexed submission it
+// was scheduled as.
+func (d *DriftSchedule) Next(label float64) (float64, int) {
+	n := int(d.n.Add(1))
+	return d.At(n, label), n
+}
+
+// Submissions reports how many labels have passed through Next.
+func (d *DriftSchedule) Submissions() int64 { return d.n.Load() }

@@ -1,0 +1,87 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDriftScheduleZeroIsPassThrough(t *testing.T) {
+	var d DriftSchedule
+	for n := 1; n <= 100; n++ {
+		got, idx := d.Next(2.5)
+		if math.Float64bits(got) != math.Float64bits(2.5) {
+			t.Fatalf("submission %d: zero schedule perturbed %v -> %v", n, 2.5, got)
+		}
+		if idx != n {
+			t.Fatalf("submission index %d, want %d", idx, n)
+		}
+	}
+}
+
+func TestDriftScheduleStepAndWindow(t *testing.T) {
+	d := &DriftSchedule{Segments: []DriftSegment{{From: 10, To: 19, Factor: 2}}}
+	for n := 1; n <= 30; n++ {
+		got := d.At(n, 1)
+		want := 1.0
+		if n >= 10 && n <= 19 {
+			want = 2
+		}
+		if math.Abs(got-want) > 1e-15 {
+			t.Fatalf("submission %d: label %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestDriftScheduleRamp(t *testing.T) {
+	d := &DriftSchedule{Segments: []DriftSegment{{From: 1, Factor: 3, Ramp: 4}}}
+	wants := []float64{1.5, 2.0, 2.5, 3.0, 3.0, 3.0}
+	for i, want := range wants {
+		if got := d.At(i+1, 1); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("submission %d: ramp label %v, want %v", i+1, got, want)
+		}
+	}
+}
+
+func TestDriftScheduleCompose(t *testing.T) {
+	d := &DriftSchedule{Segments: []DriftSegment{
+		{From: 1, Factor: 2},
+		{From: 5, To: 5, Factor: 3},
+	}}
+	if got := d.At(4, 1); math.Abs(got-2) > 1e-15 {
+		t.Fatalf("submission 4: %v, want 2", got)
+	}
+	if got := d.At(5, 1); math.Abs(got-6) > 1e-15 {
+		t.Fatalf("submission 5: overlapping segments compose to %v, want 6", got)
+	}
+}
+
+func TestDriftScheduleNoiseDeterministicAndPositive(t *testing.T) {
+	a := &DriftSchedule{Seed: 42, Segments: []DriftSegment{{From: 1, Noise: 1.5}}}
+	b := &DriftSchedule{Seed: 42, Segments: []DriftSegment{{From: 1, Noise: 1.5}}}
+	other := &DriftSchedule{Seed: 43, Segments: []DriftSegment{{From: 1, Noise: 1.5}}}
+	differs := false
+	varies := false
+	var prev float64
+	for n := 1; n <= 200; n++ {
+		ga, gb := a.At(n, 1), b.At(n, 1)
+		if math.Float64bits(ga) != math.Float64bits(gb) {
+			t.Fatalf("submission %d: same seed diverged: %v vs %v", n, ga, gb)
+		}
+		if ga <= 0 {
+			t.Fatalf("submission %d: noise produced non-positive label %v", n, ga)
+		}
+		if math.Float64bits(other.At(n, 1)) != math.Float64bits(ga) {
+			differs = true
+		}
+		if n > 1 && math.Float64bits(ga) != math.Float64bits(prev) {
+			varies = true
+		}
+		prev = ga
+	}
+	if !differs {
+		t.Error("different seeds produced identical noise streams")
+	}
+	if !varies {
+		t.Error("noise stream is constant across submissions")
+	}
+}

@@ -1,0 +1,123 @@
+// Bounded sample stores: the lifecycle controller's answer to "Beyond
+// Profiling"'s observation that incoming profiles are a long-lived shared
+// asset that must survive unbounded traffic. Two complementary structures
+// keep memory exactly flat under millions of submissions:
+//
+//   - Reservoir: a seeded Algorithm-R reservoir sampler over the whole
+//     submission history — every profile ever submitted has equal probability
+//     of being retained, so the long tail of old regimes stays represented;
+//   - Ring: the most recent N submissions verbatim — the fresh profiles the
+//     paper's update protocol re-fits against (Section 3.3's 10–20 new
+//     points live here).
+//
+// Both are deterministic given their seed and the submission order, so a
+// scripted drift episode replays bit-identically. Neither is internally
+// locked: the Controller serializes access under its own mutex.
+package lifecycle
+
+import (
+	"hsmodel/internal/core"
+	"hsmodel/internal/rng"
+)
+
+// Reservoir is a fixed-capacity uniform sample of everything ever added
+// (Vitter's Algorithm R), deterministic in its seed.
+type Reservoir struct {
+	capacity int
+	src      *rng.Source
+	seen     uint64
+	items    []core.Sample
+}
+
+// NewReservoir returns a reservoir retaining at most capacity samples.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Reservoir{
+		capacity: capacity,
+		src:      rng.New(seed),
+		items:    make([]core.Sample, 0, capacity),
+	}
+}
+
+// Add offers one sample to the reservoir. Until the reservoir fills, every
+// sample is kept; afterwards the i-th submission replaces a uniformly random
+// slot with probability capacity/i, the invariant that makes the retained
+// set a uniform sample of the whole history.
+func (r *Reservoir) Add(s core.Sample) {
+	r.seen++
+	if len(r.items) < r.capacity {
+		r.items = append(r.items, s)
+		return
+	}
+	if j := r.src.Uint64() % r.seen; j < uint64(r.capacity) {
+		r.items[j] = s
+	}
+}
+
+// Len returns the current occupancy (bounded by Cap).
+func (r *Reservoir) Len() int { return len(r.items) }
+
+// Cap returns the retention capacity.
+func (r *Reservoir) Cap() int { return r.capacity }
+
+// Seen returns how many samples have been offered in total.
+func (r *Reservoir) Seen() uint64 { return r.seen }
+
+// Samples returns a copy of the retained set (unspecified order).
+func (r *Reservoir) Samples() []core.Sample {
+	return append([]core.Sample(nil), r.items...)
+}
+
+// Ring is a fixed-capacity buffer of the most recent submissions.
+type Ring struct {
+	buf  []core.Sample
+	next int
+	full bool
+	seen uint64
+}
+
+// NewRing returns a ring retaining the last capacity submissions.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]core.Sample, capacity)}
+}
+
+// Add records one submission, evicting the oldest once full.
+func (g *Ring) Add(s core.Sample) {
+	g.seen++
+	g.buf[g.next] = s
+	g.next++
+	if g.next == len(g.buf) {
+		g.next = 0
+		g.full = true
+	}
+}
+
+// Len returns the current occupancy (bounded by Cap).
+func (g *Ring) Len() int {
+	if g.full {
+		return len(g.buf)
+	}
+	return g.next
+}
+
+// Cap returns the retention capacity.
+func (g *Ring) Cap() int { return len(g.buf) }
+
+// Seen returns how many samples have been offered in total.
+func (g *Ring) Seen() uint64 { return g.seen }
+
+// Samples returns a copy of the retained submissions, oldest first.
+func (g *Ring) Samples() []core.Sample {
+	if !g.full {
+		return append([]core.Sample(nil), g.buf[:g.next]...)
+	}
+	out := make([]core.Sample, 0, len(g.buf))
+	out = append(out, g.buf[g.next:]...)
+	out = append(out, g.buf[:g.next]...)
+	return out
+}

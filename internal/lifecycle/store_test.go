@@ -1,0 +1,112 @@
+package lifecycle
+
+import (
+	"math"
+	"testing"
+
+	"hsmodel/internal/core"
+)
+
+// numbered returns a sample identified by its CPI label, so store tests can
+// recover which submission a retained slot came from.
+func numbered(i int) core.Sample {
+	return core.Sample{App: "t", CPI: float64(i)}
+}
+
+func TestReservoirFillsThenStaysBounded(t *testing.T) {
+	r := NewReservoir(50, 1)
+	for i := 1; i <= 2000; i++ {
+		r.Add(numbered(i))
+		if r.Len() > r.Cap() {
+			t.Fatalf("after %d adds: occupancy %d exceeds capacity %d", i, r.Len(), r.Cap())
+		}
+		if i <= 50 && r.Len() != i {
+			t.Fatalf("after %d adds: occupancy %d, want every pre-fill sample kept", i, r.Len())
+		}
+	}
+	if r.Len() != 50 {
+		t.Fatalf("final occupancy %d, want full capacity 50", r.Len())
+	}
+	if r.Seen() != 2000 {
+		t.Fatalf("seen %d, want 2000", r.Seen())
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	a, b := NewReservoir(64, 42), NewReservoir(64, 42)
+	other := NewReservoir(64, 43)
+	for i := 1; i <= 5000; i++ {
+		a.Add(numbered(i))
+		b.Add(numbered(i))
+		other.Add(numbered(i))
+	}
+	as, bs, os := a.Samples(), b.Samples(), other.Samples()
+	differs := false
+	for i := range as {
+		if math.Float64bits(as[i].CPI) != math.Float64bits(bs[i].CPI) {
+			t.Fatalf("slot %d: same seed diverged: %v vs %v", i, as[i].CPI, bs[i].CPI)
+		}
+		if math.Float64bits(as[i].CPI) != math.Float64bits(os[i].CPI) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("different seeds retained identical reservoirs")
+	}
+}
+
+// TestReservoirUniformity checks the Algorithm-R invariant: after n >> cap
+// submissions, the retained set is a uniform sample of the whole history, so
+// each third of the submission range holds about a third of the slots and
+// the mean retained index sits near the middle. The stream is deterministic,
+// so the bounds are exact for this seed while still being ~4 sigma wide for
+// a genuinely uniform sampler.
+func TestReservoirUniformity(t *testing.T) {
+	const capacity, n = 120, 6000
+	r := NewReservoir(capacity, 7)
+	for i := 1; i <= n; i++ {
+		r.Add(numbered(i))
+	}
+	var thirds [3]int
+	var sum float64
+	for _, s := range r.Samples() {
+		idx := int(s.CPI)
+		thirds[(idx-1)*3/n]++
+		sum += s.CPI
+	}
+	for k, c := range thirds {
+		if c < 20 || c > 60 {
+			t.Errorf("third %d retained %d of %d slots, want roughly uniform (~40)", k, c, capacity)
+		}
+	}
+	mean := sum / capacity
+	if mean < float64(n)/2-600 || mean > float64(n)/2+600 {
+		t.Errorf("mean retained index %.0f, want near %d", mean, n/2)
+	}
+}
+
+func TestRingKeepsMostRecentInOrder(t *testing.T) {
+	g := NewRing(8)
+	for i := 1; i <= 3; i++ {
+		g.Add(numbered(i))
+	}
+	got := g.Samples()
+	if len(got) != 3 || int(got[0].CPI) != 1 || int(got[2].CPI) != 3 {
+		t.Fatalf("pre-fill ring %v, want [1 2 3]", got)
+	}
+	for i := 4; i <= 30; i++ {
+		g.Add(numbered(i))
+	}
+	got = g.Samples()
+	if len(got) != 8 {
+		t.Fatalf("ring occupancy %d, want 8", len(got))
+	}
+	for k, s := range got {
+		if want := 23 + k; int(s.CPI) != want {
+			t.Fatalf("ring slot %d holds submission %d, want %d (oldest first)", k, int(s.CPI), want)
+		}
+	}
+	if g.Seen() != 30 {
+		t.Fatalf("seen %d, want 30", g.Seen())
+	}
+}

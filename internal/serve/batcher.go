@@ -21,6 +21,11 @@ import (
 // ErrClosed is returned to predictions submitted after shutdown began.
 var ErrClosed = errors.New("serve: server is shutting down")
 
+// ErrOverloaded is returned when the prediction queue is full: the server
+// sheds the request immediately (HTTP 429 upstream) instead of stacking
+// blocked submitters behind a worker that is already saturated.
+var ErrOverloaded = errors.New("serve: prediction queue full")
+
 type predictResult struct {
 	cpi float64
 	err error
@@ -45,6 +50,7 @@ type batcher struct {
 	maxWait  time.Duration
 	snap     func() *core.Snapshot
 	observe  func(batchSize int)
+	onShed   func()
 
 	mu          sync.Mutex
 	closed      bool
@@ -54,7 +60,7 @@ type batcher struct {
 	workerDone chan struct{}
 }
 
-func newBatcher(snap func() *core.Snapshot, maxBatch int, maxWait time.Duration, queueDepth int, observe func(int)) *batcher {
+func newBatcher(snap func() *core.Snapshot, maxBatch int, maxWait time.Duration, queueDepth int, observe func(int), onShed func()) *batcher {
 	if maxBatch <= 0 {
 		maxBatch = 32
 	}
@@ -70,6 +76,7 @@ func newBatcher(snap func() *core.Snapshot, maxBatch int, maxWait time.Duration,
 		maxWait:    maxWait,
 		snap:       snap,
 		observe:    observe,
+		onShed:     onShed,
 		workerDone: make(chan struct{}),
 	}
 	go b.run()
@@ -79,7 +86,10 @@ func newBatcher(snap func() *core.Snapshot, maxBatch int, maxWait time.Duration,
 // predict submits one shard prediction and waits for its result. A request
 // that was accepted into the queue always receives a result (even during
 // shutdown); ctx cancellation abandons the wait but the buffered done
-// channel means the worker never blocks on an abandoned job.
+// channel means the worker never blocks on an abandoned job. A full queue
+// sheds the request with ErrOverloaded instead of blocking: under overload
+// the queue is a pressure gauge, not a waiting room — stacked submitters
+// would only add latency to requests the worker cannot reach anyway.
 func (b *batcher) predict(ctx context.Context, x profile.Characteristics, hw hwspace.Config) (float64, error) {
 	job := &predictJob{x: x, hw: hw, done: make(chan predictResult, 1)}
 
@@ -91,14 +101,15 @@ func (b *batcher) predict(ctx context.Context, x profile.Characteristics, hw hws
 	b.inflight++
 	b.mu.Unlock()
 
-	// The enqueue may block on a full queue; the worker keeps draining, and
-	// Close cannot close the channel while inflight > 0.
 	select {
 	case b.queue <- job:
 		b.exitSubmit()
-	case <-ctx.Done():
+	default:
 		b.exitSubmit()
-		return 0, ctx.Err()
+		if b.onShed != nil {
+			b.onShed()
+		}
+		return 0, ErrOverloaded
 	}
 
 	select {

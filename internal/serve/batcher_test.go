@@ -23,7 +23,7 @@ func TestBatcherRespectsMaxBatch(t *testing.T) {
 		mu.Lock()
 		sizes = append(sizes, n)
 		mu.Unlock()
-	})
+	}, nil)
 	defer b.Close()
 
 	const n = 40
@@ -64,7 +64,7 @@ func TestBatcherRespectsMaxBatch(t *testing.T) {
 func TestBatcherContextCancel(t *testing.T) {
 	tr := newTestTrainer(t)
 	_, valid := testData(t)
-	b := newBatcher(tr.Snapshot, 8, time.Millisecond, 8, nil)
+	b := newBatcher(tr.Snapshot, 8, time.Millisecond, 8, nil, nil)
 	defer b.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -82,7 +82,7 @@ func TestBatcherContextCancel(t *testing.T) {
 func TestBatcherUntrained(t *testing.T) {
 	tr := core.NewTrainer(nil)
 	_, valid := testData(t)
-	b := newBatcher(tr.Snapshot, 8, time.Millisecond, 8, nil)
+	b := newBatcher(tr.Snapshot, 8, time.Millisecond, 8, nil, nil)
 	defer b.Close()
 	if _, err := b.predict(context.Background(), valid[0].X, valid[0].HW); !errors.Is(err, core.ErrNotTrained) {
 		t.Fatalf("err = %v, want ErrNotTrained", err)
@@ -92,7 +92,7 @@ func TestBatcherUntrained(t *testing.T) {
 // TestBatcherDoubleClose must be idempotent.
 func TestBatcherDoubleClose(t *testing.T) {
 	tr := core.NewTrainer(nil)
-	b := newBatcher(tr.Snapshot, 8, time.Millisecond, 8, nil)
+	b := newBatcher(tr.Snapshot, 8, time.Millisecond, 8, nil, nil)
 	b.Close()
 	b.Close()
 }

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hsmodel/internal/core"
+	"hsmodel/internal/faultinject"
+	"hsmodel/internal/lifecycle"
+	"hsmodel/internal/trace"
+	"hsmodel/pkg/hsmodel"
+)
+
+// postSample submits one core sample through POST /v1/samples.
+func postSample(t testing.TB, url string, s core.Sample) hsmodel.SamplesResponse {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/samples", hsmodel.SamplesRequest{
+		Samples: []hsmodel.SampleWire{hsmodel.SampleToWire(s)},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("samples: status %d: %s", resp.StatusCode, body)
+	}
+	var sr hsmodel.SamplesResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+func lifecycleStatus(t testing.TB, url string) lifecycle.Status {
+	t.Helper()
+	resp, body := getBody(t, url+"/v1/lifecycle")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lifecycle: status %d: %s", resp.StatusCode, body)
+	}
+	var st lifecycle.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestLifecycleDisabledIs404: without Config.Lifecycle the endpoint
+// advertises the loop as absent.
+func TestLifecycleDisabledIs404(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := getBody(t, ts.URL+"/v1/lifecycle")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d with lifecycle disabled, want 404", resp.StatusCode)
+	}
+}
+
+// TestLifecycleHTTPEpisode drives a scripted drift episode end to end over
+// the wire: shifted samples trip the loop, a candidate is trained and
+// promoted, the trainer's own store stays flat (samples are routed into the
+// bounded stores), and both /v1/lifecycle and /metrics report the outcome.
+func TestLifecycleHTTPEpisode(t *testing.T) {
+	tr := newTestTrainer(t)
+	bootstrapRows := tr.NumSamples()
+	col := &core.Collector{ShardLen: 20_000, ShardPool: 12}
+	stream := col.Collect([]*trace.App{trace.Bzip2(), trace.Hmmer(), trace.Sjeng()}, 30, 21)
+
+	_, ts := newTestServer(t, Config{
+		Trainer: tr,
+		Lifecycle: &lifecycle.Config{
+			Drift:        lifecycle.DriftConfig{Target: 0.2},
+			MinProfiles:  10,
+			MinTrainRows: 24,
+			ReservoirCap: 64,
+			RingCap:      32,
+			Seed:         11,
+		},
+	})
+
+	if st := lifecycleStatus(t, ts.URL); st.State != "stable" {
+		t.Fatalf("initial state %q, want stable", st.State)
+	}
+
+	// The same x1.6 step shift the in-package promotion test uses, delivered
+	// over HTTP one profile at a time.
+	sched := &faultinject.DriftSchedule{Segments: []faultinject.DriftSegment{{From: 1, Factor: 1.6}}}
+	deadline := time.Now().Add(2 * time.Minute)
+	var promoted bool
+	for i := 0; !promoted; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("no promotion within deadline")
+		}
+		v := stream[i%len(stream)]
+		v.CPI, _ = sched.Next(v.CPI)
+		postSample(t, ts.URL, v)
+		// Wait out any in-flight episode so the submission order fully
+		// determines the outcome.
+		for {
+			st := lifecycleStatus(t, ts.URL)
+			if st.State != "retraining" && st.State != "canary" {
+				promoted = st.Promotions > 0
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	st := lifecycleStatus(t, ts.URL)
+	if st.Promotions != 1 || st.Rollbacks != 0 {
+		t.Fatalf("promotions=%d rollbacks=%d, want 1/0 (status %+v)", st.Promotions, st.Rollbacks, st)
+	}
+	// Lifecycle mode keeps the trainer's store bounded: submissions landed in
+	// the reservoir/ring, and promotion replaced the store with the bounded
+	// training set rather than growing it.
+	if rows := tr.NumSamples(); rows > bootstrapRows {
+		t.Errorf("trainer store grew %d -> %d rows; lifecycle mode must keep it bounded", bootstrapRows, rows)
+	}
+	if st.ReservoirLen > st.ReservoirCap || st.RingLen > st.RingCap {
+		t.Errorf("store occupancy exceeds caps: %+v", st)
+	}
+
+	_, body := getBody(t, ts.URL+"/metrics")
+	for _, marker := range []string{
+		`hsserve_lifecycle_episodes_total{kind="promotion"} 1`,
+		`hsserve_lifecycle_state{state="stable"} 1`,
+		`hsserve_lifecycle_store_occupancy{store="reservoir"}`,
+		"hsserve_lifecycle_drift_score",
+		"hsserve_lifecycle_canary_err",
+	} {
+		if !strings.Contains(string(body), marker) {
+			t.Errorf("metrics missing %q", marker)
+		}
+	}
+}

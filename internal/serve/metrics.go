@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hsmodel/internal/lifecycle"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, 100µs to 10s.
@@ -92,7 +94,7 @@ func formatBound(b float64) string {
 }
 
 // endpoints served, in stable exposition order.
-var endpointNames = []string{"predict", "predict_batch", "samples", "model", "healthz", "metrics"}
+var endpointNames = []string{"predict", "predict_batch", "samples", "model", "lifecycle", "healthz", "metrics"}
 
 // reqKey labels one requests_total series.
 type reqKey struct {
@@ -114,6 +116,7 @@ type metrics struct {
 	updatesFailed   atomic.Uint64
 	reloads         atomic.Uint64
 	reloadErrors    atomic.Uint64
+	shedsTotal      atomic.Uint64 // predictions rejected on a full queue
 }
 
 func newMetrics() *metrics {
@@ -156,7 +159,11 @@ type snapshotState struct {
 // event and never corrupts monotonicity); the latency map itself is written
 // only in newMetrics. TestMetricsScrapeDuringPredictLoad holds this under
 // -race.
-func (m *metrics) writeTo(w io.Writer, snap snapshotState) {
+// lifecycleState carries the control loop's scrape-time status; nil means
+// the loop is disabled and its section is omitted.
+type lifecycleState = lifecycle.Status
+
+func (m *metrics) writeTo(w io.Writer, snap snapshotState, lc *lifecycleState) {
 	io.WriteString(w, "# HELP hsserve_requests_total HTTP requests served, by endpoint and status code.\n")
 	io.WriteString(w, "# TYPE hsserve_requests_total counter\n")
 	m.mu.Lock()
@@ -218,4 +225,45 @@ func (m *metrics) writeTo(w io.Writer, snap snapshotState) {
 	io.WriteString(w, "# TYPE hsserve_snapshot_reloads_total counter\n")
 	fmt.Fprintf(w, "hsserve_snapshot_reloads_total{result=\"ok\"} %d\n", m.reloads.Load())
 	fmt.Fprintf(w, "hsserve_snapshot_reloads_total{result=\"failed\"} %d\n", m.reloadErrors.Load())
+
+	io.WriteString(w, "# HELP hsserve_sheds_total Predictions rejected because the queue was full (HTTP 429).\n")
+	io.WriteString(w, "# TYPE hsserve_sheds_total counter\n")
+	fmt.Fprintf(w, "hsserve_sheds_total %d\n", m.shedsTotal.Load())
+
+	if lc == nil {
+		return
+	}
+	io.WriteString(w, "# HELP hsserve_lifecycle_state Control-loop state (one-hot over the state machine).\n")
+	io.WriteString(w, "# TYPE hsserve_lifecycle_state gauge\n")
+	for _, st := range []string{"stable", "drift-suspected", "gathering", "retraining", "canary", "cooldown"} {
+		v := 0
+		if lc.State == st {
+			v = 1
+		}
+		fmt.Fprintf(w, "hsserve_lifecycle_state{state=%q} %d\n", st, v)
+	}
+	io.WriteString(w, "# HELP hsserve_lifecycle_drift_score CUSUM drift score of the streaming error detector.\n")
+	io.WriteString(w, "# TYPE hsserve_lifecycle_drift_score gauge\n")
+	fmt.Fprintf(w, "hsserve_lifecycle_drift_score %g\n", lc.DriftScore)
+	io.WriteString(w, "# HELP hsserve_lifecycle_err_ewma Smoothed |relative error| of the served model on the live stream.\n")
+	io.WriteString(w, "# TYPE hsserve_lifecycle_err_ewma gauge\n")
+	fmt.Fprintf(w, "hsserve_lifecycle_err_ewma %g\n", lc.ErrEWMA)
+	io.WriteString(w, "# HELP hsserve_lifecycle_store_occupancy Bounded sample-store occupancy, by store.\n")
+	io.WriteString(w, "# TYPE hsserve_lifecycle_store_occupancy gauge\n")
+	fmt.Fprintf(w, "hsserve_lifecycle_store_occupancy{store=\"reservoir\"} %d\n", lc.ReservoirLen)
+	fmt.Fprintf(w, "hsserve_lifecycle_store_occupancy{store=\"ring\"} %d\n", lc.RingLen)
+	io.WriteString(w, "# HELP hsserve_lifecycle_store_capacity Bounded sample-store capacity, by store.\n")
+	io.WriteString(w, "# TYPE hsserve_lifecycle_store_capacity gauge\n")
+	fmt.Fprintf(w, "hsserve_lifecycle_store_capacity{store=\"reservoir\"} %d\n", lc.ReservoirCap)
+	fmt.Fprintf(w, "hsserve_lifecycle_store_capacity{store=\"ring\"} %d\n", lc.RingCap)
+	io.WriteString(w, "# HELP hsserve_lifecycle_episodes_total Control-loop episode outcomes, by kind.\n")
+	io.WriteString(w, "# TYPE hsserve_lifecycle_episodes_total counter\n")
+	fmt.Fprintf(w, "hsserve_lifecycle_episodes_total{kind=\"retrain\"} %d\n", lc.Retrains)
+	fmt.Fprintf(w, "hsserve_lifecycle_episodes_total{kind=\"promotion\"} %d\n", lc.Promotions)
+	fmt.Fprintf(w, "hsserve_lifecycle_episodes_total{kind=\"rollback\"} %d\n", lc.Rollbacks)
+	fmt.Fprintf(w, "hsserve_lifecycle_episodes_total{kind=\"ladder_failure\"} %d\n", lc.LadderFailures)
+	io.WriteString(w, "# HELP hsserve_lifecycle_canary_err Canary MedAPE of the last candidate vs the incumbent on the same set.\n")
+	io.WriteString(w, "# TYPE hsserve_lifecycle_canary_err gauge\n")
+	fmt.Fprintf(w, "hsserve_lifecycle_canary_err{model=\"candidate\"} %g\n", lc.CanaryErr)
+	fmt.Fprintf(w, "hsserve_lifecycle_canary_err{model=\"incumbent\"} %g\n", lc.IncumbentErr)
 }

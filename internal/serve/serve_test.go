@@ -291,6 +291,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	var (
 		answered atomic.Int64 // real predictions
 		rejected atomic.Int64 // clean ErrClosed rejections
+		shed     atomic.Int64 // clean ErrOverloaded sheds (full queue)
 		wg       sync.WaitGroup
 	)
 	for i := 0; i < n; i++ {
@@ -304,6 +305,8 @@ func TestGracefulShutdownDrains(t *testing.T) {
 				answered.Add(1)
 			case errors.Is(err, ErrClosed):
 				rejected.Add(1)
+			case errors.Is(err, ErrOverloaded):
+				shed.Add(1)
 			default:
 				t.Errorf("request %d: cpi=%v err=%v", i, cpi, err)
 			}
@@ -327,13 +330,14 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("shutdown left requests hanging")
 	}
-	if got := answered.Load() + rejected.Load(); got != n {
-		t.Fatalf("answered %d + rejected %d != %d submitted", answered.Load(), rejected.Load(), n)
+	if got := answered.Load() + rejected.Load() + shed.Load(); got != n {
+		t.Fatalf("answered %d + rejected %d + shed %d != %d submitted",
+			answered.Load(), rejected.Load(), shed.Load(), n)
 	}
 	if answered.Load() == 0 {
 		t.Error("shutdown answered nothing — the drain path was not exercised")
 	}
-	t.Logf("answered %d, cleanly rejected %d", answered.Load(), rejected.Load())
+	t.Logf("answered %d, cleanly rejected %d, shed %d", answered.Load(), rejected.Load(), shed.Load())
 	// After Close, new submissions are rejected, not lost.
 	if _, err := s.batcher.predict(context.Background(), valid[0].X, valid[0].HW); !errors.Is(err, ErrClosed) {
 		t.Errorf("post-close predict err = %v, want ErrClosed", err)

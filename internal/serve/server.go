@@ -7,6 +7,8 @@
 //	POST /v1/samples        absorb new profiles; optionally trigger an
 //	                        asynchronous model re-specification
 //	GET  /v1/model          served-model provenance and fit-path counters
+//	GET  /v1/lifecycle      continuous-learning control-loop status (404
+//	                        unless Config.Lifecycle enables the loop)
 //	GET  /healthz           liveness (and whether a model is being served)
 //	GET  /metrics           Prometheus text exposition (metrics.go)
 //
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"hsmodel/internal/core"
+	"hsmodel/internal/lifecycle"
 	"hsmodel/pkg/hsmodel"
 )
 
@@ -48,7 +51,8 @@ type Config struct {
 	// request arrives (default 2ms).
 	MaxWait time.Duration
 	// QueueDepth bounds the submit queue (default 4*MaxBatch). A full queue
-	// applies backpressure: submitters block until the worker drains.
+	// sheds: the request is answered 429 with a Retry-After hint instead of
+	// blocking behind a saturated worker.
 	QueueDepth int
 	// RequestTimeout bounds each request's context (default 5s).
 	RequestTimeout time.Duration
@@ -57,6 +61,12 @@ type Config struct {
 	UpdateTimeout time.Duration
 	// ModelPath, when non-empty, names the snapshot file Reload serves from.
 	ModelPath string
+	// Lifecycle, when non-nil, enables the continuous-learning control loop
+	// (internal/lifecycle): POST /v1/samples feeds the loop's bounded stores
+	// and drift detector instead of growing the trainer's store without
+	// bound, and GET /v1/lifecycle reports loop status. The server owns the
+	// controller and closes it on Close.
+	Lifecycle *lifecycle.Config
 	// Logger receives serving events (update/reload outcomes); nil discards.
 	Logger *log.Logger
 }
@@ -86,11 +96,12 @@ func (c Config) withDefaults() Config {
 // Server is the HTTP prediction service. Create with New, expose with
 // Handler, and drain with Close after the HTTP listener has shut down.
 type Server struct {
-	cfg     Config
-	trainer *core.Trainer
-	batcher *batcher
-	metrics *metrics
-	mux     *http.ServeMux
+	cfg       Config
+	trainer   *core.Trainer
+	batcher   *batcher
+	metrics   *metrics
+	mux       *http.ServeMux
+	lifecycle *lifecycle.Controller // nil unless Config.Lifecycle enables it
 
 	updating atomic.Bool    // one asynchronous Update at a time
 	updateWG sync.WaitGroup // Close waits for the in-flight one
@@ -115,7 +126,11 @@ func New(cfg Config) (*Server, error) {
 		metrics:   newMetrics(),
 		snapSince: time.Now(),
 	}
-	s.batcher = newBatcher(s.trainer.Snapshot, cfg.MaxBatch, cfg.MaxWait, cfg.QueueDepth, s.metrics.observeBatch)
+	s.batcher = newBatcher(s.trainer.Snapshot, cfg.MaxBatch, cfg.MaxWait, cfg.QueueDepth,
+		s.metrics.observeBatch, func() { s.metrics.shedsTotal.Add(1) })
+	if cfg.Lifecycle != nil {
+		s.lifecycle = lifecycle.NewController(cfg.Trainer, *cfg.Lifecycle)
+	}
 	s.observeSnapshot()
 
 	s.mux = http.NewServeMux()
@@ -123,6 +138,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/predict:batch", s.instrument("predict_batch", s.handleBatch))
 	s.mux.HandleFunc("POST /v1/samples", s.instrument("samples", s.handleSamples))
 	s.mux.HandleFunc("GET /v1/model", s.instrument("model", s.handleModel))
+	s.mux.HandleFunc("GET /v1/lifecycle", s.instrument("lifecycle", s.handleLifecycle))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return s, nil
@@ -138,6 +154,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Close() {
 	s.batcher.Close()
 	s.updateWG.Wait()
+	if s.lifecycle != nil {
+		s.lifecycle.Close()
+	}
 }
 
 // Reload hot-swaps the served snapshot from Config.ModelPath (the v2/v3
@@ -214,6 +233,10 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed):
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrOverloaded):
+		// Shed, not queued: tell well-behaved clients when to come back.
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -315,10 +338,21 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		}
 		samples[i] = s
 	}
-	// AddSamples is safe (and non-blocking) concurrently with an in-flight
-	// Update: training captures its evaluator at run start, so these rows
-	// take effect at the next re-specification.
-	s.trainer.AddSamples(samples)
+	if s.lifecycle != nil {
+		// Continuous-learning mode: samples feed the control loop's drift
+		// detector and bounded stores, keeping server memory flat under an
+		// unbounded stream; the loop decides when to retrain and promote.
+		// The explicit Update flag still works and re-specifies the live
+		// trainer over its (promotion-aligned) store.
+		for _, sample := range samples {
+			s.lifecycle.Submit(sample)
+		}
+	} else {
+		// AddSamples is safe (and non-blocking) concurrently with an
+		// in-flight Update: training captures its evaluator at run start, so
+		// these rows take effect at the next re-specification.
+		s.trainer.AddSamples(samples)
+	}
 	s.metrics.samplesAccepted.Add(uint64(len(samples)))
 	resp := hsmodel.SamplesResponse{
 		Accepted:     len(samples),
@@ -328,6 +362,16 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		resp.UpdateStarted = s.triggerUpdate()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLifecycle reports the control loop's status; 404 when the loop is
+// not enabled so probes can distinguish "disabled" from "unhealthy".
+func (s *Server) handleLifecycle(w http.ResponseWriter, r *http.Request) {
+	if s.lifecycle == nil {
+		writeJSON(w, http.StatusNotFound, hsmodel.ErrorResponse{Error: "serve: lifecycle loop not enabled"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.lifecycle.Status())
 }
 
 // triggerUpdate starts one asynchronous re-specification if none is in
@@ -386,11 +430,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	version, since, snap := s.observeSnapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var lc *lifecycleState
+	if s.lifecycle != nil {
+		st := s.lifecycle.Status()
+		lc = &st
+	}
 	s.metrics.writeTo(w, snapshotState{
 		version: version,
 		age:     time.Since(since),
 		trained: snap.Model() != nil,
-	})
+	}, lc)
 }
 
 // batchMean exposes the observed mean coalesced-batch size (tests and the

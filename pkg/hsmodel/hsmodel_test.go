@@ -34,6 +34,47 @@ func TestOptionsApply(t *testing.T) {
 	}
 }
 
+// TestLifecycleOptionsApply pins the facade plumbing for the control loop:
+// options land in the controller, the stores honor their bounds, and the loop
+// closes cleanly — all without any training machinery.
+func TestLifecycleOptionsApply(t *testing.T) {
+	lc := NewLifecycle(New(nil),
+		WithLifecycle(LifecycleConfig{MinTrainRows: 99}),
+		WithDrift(DriftConfig{Target: 0.3}),
+		WithDriftThreshold(2.5),
+		WithMinProfiles(4),
+		WithCanaryTolerance(0.1),
+		WithStoreBounds(8, 3),
+		WithLifecycleSeed(21),
+	)
+	st := lc.Status()
+	if st.State != "stable" {
+		t.Fatalf("initial state %q, want stable", st.State)
+	}
+	if st.ReservoirCap != 8 || st.RingCap != 3 {
+		t.Errorf("store caps %d/%d, want 8/3 from WithStoreBounds", st.ReservoirCap, st.RingCap)
+	}
+
+	var s Sample
+	s.App = "facade"
+	s.HW = Baseline()
+	for i := 0; i < 20; i++ {
+		s.CPI = float64(i + 1)
+		lc.Submit(s)
+	}
+	st = lc.Status()
+	if st.Submissions != 20 {
+		t.Errorf("submissions %d, want 20", st.Submissions)
+	}
+	if st.ReservoirLen > st.ReservoirCap || st.RingLen > st.RingCap {
+		t.Errorf("occupancy %d/%d reservoir, %d/%d ring exceeds bounds",
+			st.ReservoirLen, st.ReservoirCap, st.RingLen, st.RingCap)
+	}
+	if err := lc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestConfigFromArch(t *testing.T) {
 	counts := hwspace.LevelCounts()
 	arch := make([]int, NumHWParams)
