@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint bench-smoke serve-smoke ci
+.PHONY: build vet test race lint bench-smoke serve-smoke families-smoke ci
 
 build:
 	$(GO) build ./...
@@ -38,9 +38,16 @@ serve-smoke:
 	$(GO) run ./cmd/hsserve -selfcheck
 	$(GO) run ./cmd/hsserve -driftcheck
 
+# families-smoke runs the model-family selection harness end to end on the
+# spmv domain corpus: all three built-in families (spline, residual, dal)
+# must fit, selection must complete with a full scoreboard, and the chosen
+# family's CV MedAPE must not be worse than the reference spline baseline.
+families-smoke:
+	$(GO) test -run TestFamiliesSmoke -v ./internal/core
+
 # ci is the gate: compile, static analysis (go vet plus the repo's own
 # hslint invariant checks), plain tests, then the race detector over the
 # whole tree (the parallel fitness pool, the lock-free snapshot swaps, and
 # the fault-injection schedules are the usual suspects), and finally the
-# end-to-end serving smoke test.
-ci: build vet lint test race serve-smoke
+# end-to-end serving and family-selection smoke tests.
+ci: build vet lint test race serve-smoke families-smoke

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -95,15 +96,33 @@ func cmdTrain(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("out", "model.json", "output model path")
 	timeout := fs.Duration("timeout", 0, "genetic search deadline before degrading to stepwise (0 = none)")
+	families := fs.String("families", "", `model families to select among: "all", or a comma-separated subset of spline,residual,dal (empty = classic spline-only engine)`)
 	fs.Parse(args)
+
+	opts := []hsmodel.Option{
+		hsmodel.WithSearch(hsmodel.SearchParams{PopulationSize: *pop, Generations: *gens, Seed: *seed}),
+		hsmodel.WithShardLen(*shardLen),
+	}
+	switch *families {
+	case "":
+	case "all":
+		opts = append(opts, hsmodel.WithFamilySelection())
+	default:
+		var fams []hsmodel.ModelFamily
+		for _, name := range strings.Split(*families, ",") {
+			f := hsmodel.FamilyByName(strings.TrimSpace(name))
+			if f == nil {
+				return fmt.Errorf("unknown model family %q (have spline, residual, dal)", name)
+			}
+			fams = append(fams, f)
+		}
+		opts = append(opts, hsmodel.WithFamilies(fams...))
+	}
 
 	apps := trace.SPEC2006()
 	col := &hsmodel.Collector{ShardLen: *shardLen}
 	fmt.Fprintf(os.Stderr, "collecting %d samples/app across %d applications...\n", *samples, len(apps))
-	m := hsmodel.New(col.Collect(apps, *samples, *seed),
-		hsmodel.WithSearch(hsmodel.SearchParams{PopulationSize: *pop, Generations: *gens, Seed: *seed}),
-		hsmodel.WithShardLen(*shardLen),
-	)
+	m := hsmodel.New(col.Collect(apps, *samples, *seed), opts...)
 	fmt.Fprintln(os.Stderr, "training...")
 	// Degradation ladder: genetic search, then stepwise, then the last-good
 	// model already at -out (if any). See DESIGN.md "Failure modes".
@@ -120,8 +139,28 @@ func cmdTrain(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "keeping existing model at %s\n", *out)
 		return nil
 	}
-	fmt.Fprintf(os.Stderr, "best fitness %.4f, spec: %s\n",
-		m.Population()[0].Fitness, m.Population()[0].Spec)
+	if sel := m.Selection(); sel != nil {
+		names := make([]string, 0, len(sel.Scores))
+		for name := range sel.Scores {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "family %-9s CV MedAPE %.4f\n", name, sel.Scores[name])
+		}
+		failed := make([]string, 0, len(sel.Errors))
+		for name := range sel.Errors {
+			failed = append(failed, name)
+		}
+		sort.Strings(failed)
+		for _, name := range failed {
+			fmt.Fprintf(os.Stderr, "family %-9s failed: %v\n", name, sel.Errors[name])
+		}
+		fmt.Fprintf(os.Stderr, "selected family: %s\n", sel.Winner)
+	}
+	if pop := m.Population(); len(pop) > 0 {
+		fmt.Fprintf(os.Stderr, "best fitness %.4f, spec: %s\n", pop[0].Fitness, pop[0].Spec)
+	}
 
 	if err := m.Save(*out, *shardLen); err != nil {
 		return err
@@ -215,23 +254,40 @@ func cmdModel(args []string) error {
 		}
 		return err
 	}
-	m := snap.Model()
+	desc := snap.Describe()
 	info := hsmodel.ModelInfo{
-		Trained:     true,
-		Spec:        m.Spec.String(),
-		Terms:       len(m.Coef),
-		Rung:        snap.Rung().String(),
-		TrainedRows: snap.TrainedRows(),
-		ShardLen:    snap.ShardLen(),
+		Trained:      true,
+		Family:       snap.Family(),
+		FamilyScores: snap.FamilyScores(),
+		Spec:         desc.Spec,
+		Terms:        desc.Terms,
+		Detail:       desc.Detail,
+		Rung:         snap.Rung().String(),
+		TrainedRows:  snap.TrainedRows(),
+		ShardLen:     snap.ShardLen(),
 	}
 	if *asJSON {
 		return json.NewEncoder(os.Stdout).Encode(info)
 	}
 	fmt.Printf("model %s\n", *modelPath)
+	fmt.Printf("  family:       %s\n", info.Family)
 	fmt.Printf("  rung:         %s\n", info.Rung)
 	fmt.Printf("  trained rows: %d\n", info.TrainedRows)
 	fmt.Printf("  shard length: %d\n", info.ShardLen)
 	fmt.Printf("  terms:        %d\n", info.Terms)
 	fmt.Printf("  spec:         %s\n", info.Spec)
+	if info.Detail != "" {
+		fmt.Printf("  detail:       %s\n", info.Detail)
+	}
+	if len(info.FamilyScores) > 0 {
+		names := make([]string, 0, len(info.FamilyScores))
+		for name := range info.FamilyScores {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  score[%s]: %.4f\n", name, info.FamilyScores[name])
+		}
+	}
 	return nil
 }

@@ -111,7 +111,7 @@ func main() {
 			logger.Printf("serving without a model until reload succeeds: %v", err)
 		}
 	}
-	if tr.Snapshot().Model() == nil {
+	if !tr.Snapshot().Trained() {
 		logger.Println("no model yet: predictions answer 503 until /v1/samples+update, -model reload, or -bootstrap")
 	}
 
@@ -163,8 +163,9 @@ func bootstrapTrain(tr *hsmodel.Trainer, nApps, samples, pop, gens int, seed uin
 		return fmt.Errorf("bootstrap training failed: %w", err)
 	}
 	snap := tr.Snapshot()
-	logger.Printf("bootstrap: trained on %d rows in %s, spec %s",
-		snap.TrainedRows(), time.Since(start).Round(time.Millisecond), snap.Model().Spec)
+	logger.Printf("bootstrap: trained on %d rows in %s, family %s, spec %s",
+		snap.TrainedRows(), time.Since(start).Round(time.Millisecond),
+		snap.Family(), snap.Describe().Spec)
 	return nil
 }
 

@@ -8,7 +8,8 @@ import (
 
 // CtxFlow enforces the cancellation discipline PR 1 threaded through the
 // engine: exported entry points of the training/search/serving/lifecycle
-// packages (core, genetic, serve, lifecycle) that loop over cancellable work
+// packages (core, genetic, serve, lifecycle, and the model-family packages
+// under internal/family/...) that loop over cancellable work
 // — generations, shards, queued requests, retrain episodes — must accept a
 // context.Context (or *http.Request, whose context serves) and actually use
 // it. Concretely, an exported
@@ -28,7 +29,13 @@ var CtxFlow = &Analyzer{
 	Run:  runCtxFlow,
 }
 
-var ctxFlowPkgs = map[string]bool{"core": true, "genetic": true, "serve": true, "lifecycle": true}
+var ctxFlowPkgs = map[string]bool{
+	"core": true, "genetic": true, "serve": true, "lifecycle": true,
+	// Model families run searches and per-cluster fits inside Fit; a family
+	// that loops without honoring its context would make the selection
+	// harness (and TrainResilient's timeout rung) uncancellable.
+	"family": true, "spline": true, "residual": true, "dal": true,
+}
 
 func runCtxFlow(pass *Pass) {
 	if !ctxFlowPkgs[pass.PkgName] {

@@ -7,8 +7,10 @@ import (
 )
 
 // Determinism guards the reproducibility contract of the search and fit
-// packages (genetic, regress, linalg, core): the Figure 5 convergence
-// numbers (0.6121/0.5650) must reproduce bit-identically from a seed. Three
+// packages (genetic, regress, linalg, core, and every model family under
+// internal/family/...): the Figure 5 convergence numbers (0.6121/0.5650)
+// must reproduce bit-identically from a seed, and a family's Fit must be a
+// pure function of its FitInput. Three
 // nondeterminism vectors are flagged inside those packages:
 //
 //   - math/rand (and math/rand/v2) global-source functions — all randomness
@@ -34,6 +36,13 @@ var determinismPkgs = map[string]bool{
 	"regress": true,
 	"linalg":  true,
 	"core":    true,
+	// The ModelFamily plug-in layer: family.Fit is contractually a pure
+	// function of FitInput (internal/family's package doc), so every family
+	// package is held to the same bit-reproducibility bar as the engine.
+	"family":   true,
+	"spline":   true,
+	"residual": true,
+	"dal":      true,
 }
 
 // globalRandFuncs are the math/rand (v1 and v2) functions that read the

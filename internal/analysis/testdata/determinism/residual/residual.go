@@ -1,0 +1,40 @@
+// Fixture extending the determinism analyzer to the model-family packages:
+// the package is named "residual" so the family reproducibility contract
+// applies — a family's Fit must be a pure function of its FitInput, with all
+// randomness flowing through the seeded input, never the process-global
+// source or the wall clock.
+package residual
+
+import (
+	"math/rand"
+	"time"
+)
+
+// jitterPrior perturbs the analytical prior from the process-global source:
+// two selection rounds over identical inputs would score (and possibly pick)
+// different families.
+func jitterPrior(p float64) float64 {
+	return p * (1 + 0.01*rand.Float64()) // want `draws from the process-global source`
+}
+
+// seededJitter draws from an explicitly seeded source handed in by the
+// caller (the FitInput seed). Legal.
+func seededJitter(r *rand.Rand, p float64) float64 {
+	return p * (1 + 0.01*r.Float64())
+}
+
+// stampFit records when the correction model was fitted, breaking
+// bit-reproducibility of the persisted payload.
+func stampFit() int64 {
+	return time.Now().Unix() // want `time.Now in a fit/search path`
+}
+
+// scoreByApp accumulates per-application scores in map-iteration order: the
+// mean's low bits change between runs, so family selection can flip on ties.
+func scoreByApp(scores map[int]float64) float64 {
+	var sum float64
+	for _, s := range scores {
+		sum += s // want `float accumulation into sum inside range over map`
+	}
+	return sum / float64(len(scores))
+}

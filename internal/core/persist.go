@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -9,40 +10,53 @@ import (
 	"os"
 	"path/filepath"
 
+	"hsmodel/internal/family/spline"
 	"hsmodel/internal/regress"
 )
 
-// SavedModel is the serializable form of a model Snapshot: the fitted
-// regression (specification, preprocessing, coefficients — all
-// self-contained) plus the shard length its profiles were measured at, so a
-// loaded model profiles new shards consistently, and provenance metadata
-// (which ladder rung produced it, how many rows it was fitted on).
+// SavedModel is the serializable form of a model Snapshot: the owning
+// family's name plus its self-contained payload (for the reference spline
+// family, the fitted regression's specification, preprocessing, and
+// coefficients), the shard length its profiles were measured at, so a loaded
+// model profiles new shards consistently, and provenance metadata (which
+// ladder rung produced it, how many rows it was fitted on, the per-family
+// selection scores when the selection harness chose it).
 type SavedModel struct {
 	// Version guards the on-disk format.
 	Version int `json:"version"`
 	// ShardLen is the profiling shard length in instructions.
 	ShardLen int `json:"shard_len"`
 	// Rung names the degradation-ladder rung that produced the model
-	// ("genetic", "stepwise", "last-good"). Absent in version-2 files;
-	// unknown names load as RungNone.
+	// ("genetic", "stepwise", "last-good", "family"). Absent in version-2
+	// files; unknown names load as RungNone.
 	Rung string `json:"rung,omitempty"`
 	// TrainedRows is the number of profile rows the model was fitted on.
 	// Absent in version-2 files.
 	TrainedRows int `json:"trained_rows,omitempty"`
-	// Checksum is the hex SHA-256 of the model's canonical JSON encoding.
-	// Load recomputes it so torn or bit-rotted files are detected instead of
-	// half-loaded. Model JSON is deterministic: the struct has a fixed field
-	// order and float64 round-trips exactly through encoding/json.
+	// Family names the model family that owns Payload. Absent before
+	// version 4 (those files are implicitly spline).
+	Family string `json:"family,omitempty"`
+	// FamilyScores records the per-family selection scores of the round
+	// that chose this model, when one ran.
+	FamilyScores map[string]float64 `json:"family_scores,omitempty"`
+	// Checksum is the hex SHA-256 of the payload's compact JSON encoding
+	// (for version ≤ 3, of the model's canonical encoding). Load recomputes
+	// it so torn or bit-rotted files are detected instead of half-loaded.
+	// Payload JSON is deterministic: the structs have fixed field order and
+	// float64 round-trips exactly through encoding/json.
 	Checksum string `json:"checksum"`
-	// Model is the fitted regression over the 26 integrated variables.
-	Model *regress.Model `json:"model"`
+	// Payload is the family-owned model encoding (version ≥ 4).
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Model is the fitted regression of pre-family files (version ≤ 3).
+	Model *regress.Model `json:"model,omitempty"`
 }
 
 // savedModelVersion is the current format version. Version 2 added the
-// payload checksum; version 3 added rung and trained_rows provenance.
-// Version-2 files still load (the metadata defaults to zero); version-1
-// files are rejected with ErrModelVersion.
-const savedModelVersion = 3
+// payload checksum; version 3 added rung and trained_rows provenance;
+// version 4 moved the model into a family-owned payload keyed by the family
+// name (with selection scores). Version-2/3 files still load as spline
+// models; version-1 files are rejected with ErrModelVersion.
+const savedModelVersion = 4
 
 // minLoadableVersion is the oldest format LoadSnapshot accepts.
 const minLoadableVersion = 2
@@ -61,9 +75,13 @@ var (
 	ErrModelShape = errors.New("core: saved model variable count mismatch")
 	// ErrModelChecksum: the payload does not match its recorded checksum.
 	ErrModelChecksum = errors.New("core: model payload checksum mismatch")
+	// ErrModelFamily: the family name is unknown to this build, or the
+	// family rejected its payload.
+	ErrModelFamily = errors.New("core: model family unknown or payload invalid")
 )
 
-// modelChecksum returns the hex SHA-256 of the model's JSON encoding.
+// modelChecksum returns the hex SHA-256 of the model's JSON encoding (the
+// version ≤ 3 convention).
 func modelChecksum(m *regress.Model) (string, error) {
 	data, err := json.Marshal(m)
 	if err != nil {
@@ -73,25 +91,46 @@ func modelChecksum(m *regress.Model) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// payloadChecksum returns the hex SHA-256 of the payload's compact JSON
+// encoding. Compaction first is load-bearing: Save writes the file with
+// MarshalIndent, which re-indents the embedded raw payload, so the bytes on
+// disk are whitespace-shifted relative to the family's Payload output. Both
+// Save and Load therefore hash the compacted form, which survives any
+// JSON-preserving rewrite of the file.
+func payloadChecksum(payload json.RawMessage) (string, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, payload); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // Save serializes the snapshot to path as indented JSON. The write is
 // crash-safe: data goes to a temp file in the same directory, is synced, and
 // is renamed over path, so a crash mid-save leaves either the old model or
 // the new one — never a torn file.
 func (s *Snapshot) Save(path string) error {
-	if s == nil || s.model == nil {
+	if !s.Trained() {
 		return errors.New("core: Save before Train")
 	}
-	sum, err := modelChecksum(s.model)
+	payload, err := s.fam.Payload()
+	if err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	sum, err := payloadChecksum(payload)
 	if err != nil {
 		return fmt.Errorf("core: encoding model: %w", err)
 	}
 	data, err := json.MarshalIndent(SavedModel{
-		Version:     savedModelVersion,
-		ShardLen:    s.shardLen,
-		Rung:        s.rung.String(),
-		TrainedRows: s.trainedRows,
-		Checksum:    sum,
-		Model:       s.model,
+		Version:      savedModelVersion,
+		ShardLen:     s.shardLen,
+		Rung:         s.rung.String(),
+		TrainedRows:  s.trainedRows,
+		Family:       s.famName,
+		FamilyScores: s.scores,
+		Checksum:     sum,
+		Payload:      payload,
 	}, "", " ")
 	if err != nil {
 		return fmt.Errorf("core: encoding model: %w", err)
@@ -126,20 +165,20 @@ func (s *Snapshot) Save(path string) error {
 // first successful training run.
 func (m *Trainer) Save(path string, shardLen int) error {
 	s := m.Snapshot()
-	if s == nil || s.model == nil {
+	if !s.Trained() {
 		return errors.New("core: Save before Train")
 	}
 	if shardLen > 0 && shardLen != s.shardLen {
-		s = NewSnapshot(s.model, shardLen, s.rung, s.trainedRows)
+		s = newFamilySnapshot(s.famName, s.fam, s.scores, shardLen, s.rung, s.trainedRows)
 	}
 	return s.Save(path)
 }
 
 // LoadSnapshot reads a snapshot saved by Save, verifying format version,
-// structural completeness, variable count, and payload checksum; each
-// failure mode returns a distinct typed error (see ErrModel*). The returned
-// Snapshot predicts immediately; hand it to Trainer.Adopt to serve it from a
-// trainer and continue training with AddSamples and Update.
+// family, structural completeness, variable count, and payload checksum;
+// each failure mode returns a distinct typed error (see ErrModel*). The
+// returned Snapshot predicts immediately; hand it to Trainer.Adopt to serve
+// it from a trainer and continue training with AddSamples and Update.
 func LoadSnapshot(path string) (*Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -153,6 +192,35 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: found %d, want %d–%d",
 			ErrModelVersion, saved.Version, minLoadableVersion, savedModelVersion)
 	}
+	if saved.Version < 4 {
+		return loadLegacy(saved)
+	}
+	if saved.Family == "" || len(saved.Payload) == 0 {
+		return nil, ErrModelIncomplete
+	}
+	fam := FamilyByName(saved.Family)
+	if fam == nil {
+		return nil, fmt.Errorf("%w: %q", ErrModelFamily, saved.Family)
+	}
+	sum, err := payloadChecksum(saved.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrModelCorrupt, err)
+	}
+	if sum != saved.Checksum {
+		return nil, fmt.Errorf("%w: stored %.12s…, computed %.12s…",
+			ErrModelChecksum, saved.Checksum, sum)
+	}
+	model, err := fam.Load(saved.Payload, NumVars)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrModelFamily, err)
+	}
+	return NewFamilySnapshot(saved.Family, model, saved.FamilyScores,
+		saved.ShardLen, parseRung(saved.Rung), saved.TrainedRows), nil
+}
+
+// loadLegacy handles version-2/3 files: a bare spline regression under the
+// "model" key, checksummed over its own canonical encoding.
+func loadLegacy(saved SavedModel) (*Snapshot, error) {
 	if saved.Model == nil || saved.Model.Prep == nil || len(saved.Model.Coef) == 0 {
 		return nil, ErrModelIncomplete
 	}
@@ -168,5 +236,6 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: stored %.12s…, computed %.12s…",
 			ErrModelChecksum, saved.Checksum, sum)
 	}
-	return NewSnapshot(saved.Model, saved.ShardLen, parseRung(saved.Rung), saved.TrainedRows), nil
+	return NewFamilySnapshot(spline.FamilyName, spline.Wrap(saved.Model), nil,
+		saved.ShardLen, parseRung(saved.Rung), saved.TrainedRows), nil
 }

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hsmodel/internal/regress"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -109,6 +111,22 @@ func saveValid(t *testing.T) string {
 	return path
 }
 
+// legacyModel decodes the spline regression out of a current-format file's
+// payload, so compat tests can rebuild pre-family (version ≤ 3) files from
+// the same fitted model.
+func legacyModel(t *testing.T, good []byte) (SavedModel, *regress.Model) {
+	t.Helper()
+	var saved SavedModel
+	if err := json.Unmarshal(good, &saved); err != nil {
+		t.Fatal(err)
+	}
+	var model regress.Model
+	if err := json.Unmarshal(saved.Payload, &model); err != nil {
+		t.Fatal(err)
+	}
+	return saved, &model
+}
+
 // TestLoadVersion2Compat: version-2 files (no rung/trained_rows metadata)
 // must still load, with the provenance defaulting to zero values.
 func TestLoadVersion2Compat(t *testing.T) {
@@ -116,15 +134,16 @@ func TestLoadVersion2Compat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var saved SavedModel
-	if err := json.Unmarshal(good, &saved); err != nil {
+	saved, model := legacyModel(t, good)
+	sum, err := modelChecksum(model)
+	if err != nil {
 		t.Fatal(err)
 	}
 	v2 := SavedModel{
 		Version:  2,
 		ShardLen: saved.ShardLen,
-		Checksum: saved.Checksum,
-		Model:    saved.Model,
+		Checksum: sum,
+		Model:    model,
 	}
 	data, err := json.Marshal(v2)
 	if err != nil {
@@ -181,7 +200,7 @@ func TestLoadFailureModes(t *testing.T) {
 	})
 
 	t.Run("wrong version", func(t *testing.T) {
-		bad := strings.Replace(string(good), `"version": 3`, `"version": 1`, 1)
+		bad := strings.Replace(string(good), `"version": 4`, `"version": 1`, 1)
 		if bad == string(good) {
 			t.Fatal("version field not found in saved file")
 		}
@@ -192,28 +211,58 @@ func TestLoadFailureModes(t *testing.T) {
 	})
 
 	t.Run("future version", func(t *testing.T) {
-		bad := strings.Replace(string(good), `"version": 3`, `"version": 99`, 1)
+		bad := strings.Replace(string(good), `"version": 4`, `"version": 99`, 1)
 		p := write("future.json", []byte(bad))
 		if _, err := LoadSnapshot(p); !errors.Is(err, ErrModelVersion) {
 			t.Errorf("err = %v, want ErrModelVersion", err)
 		}
 	})
 
-	t.Run("incomplete model", func(t *testing.T) {
-		p := write("empty.json", []byte(`{"version":3,"shard_len":100}`))
+	t.Run("incomplete legacy model", func(t *testing.T) {
+		p := write("empty3.json", []byte(`{"version":3,"shard_len":100}`))
 		if _, err := LoadSnapshot(p); !errors.Is(err, ErrModelIncomplete) {
 			t.Errorf("err = %v, want ErrModelIncomplete", err)
 		}
 	})
 
-	t.Run("wrong variable count", func(t *testing.T) {
+	t.Run("incomplete family file", func(t *testing.T) {
+		p := write("empty4.json", []byte(`{"version":4,"shard_len":100,"family":"spline"}`))
+		if _, err := LoadSnapshot(p); !errors.Is(err, ErrModelIncomplete) {
+			t.Errorf("err = %v, want ErrModelIncomplete", err)
+		}
+	})
+
+	t.Run("unknown family", func(t *testing.T) {
 		var saved SavedModel
 		if err := json.Unmarshal(good, &saved); err != nil {
 			t.Fatal(err)
 		}
-		saved.Model.Prep.Names = saved.Model.Prep.Names[:5]
-		saved.Model.Prep.Powers = saved.Model.Prep.Powers[:5]
+		saved.Family = "perceptron"
 		data, err := json.Marshal(saved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := write("unknownfam.json", data)
+		if _, err := LoadSnapshot(p); !errors.Is(err, ErrModelFamily) {
+			t.Errorf("err = %v, want ErrModelFamily", err)
+		}
+	})
+
+	t.Run("wrong variable count legacy", func(t *testing.T) {
+		saved, model := legacyModel(t, good)
+		model.Prep.Names = model.Prep.Names[:5]
+		model.Prep.Powers = model.Prep.Powers[:5]
+		sum, err := modelChecksum(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v3 := SavedModel{
+			Version:  3,
+			ShardLen: saved.ShardLen,
+			Checksum: sum,
+			Model:    model,
+		}
+		data, err := json.Marshal(v3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,14 +272,41 @@ func TestLoadFailureModes(t *testing.T) {
 		}
 	})
 
+	t.Run("wrong variable count family payload", func(t *testing.T) {
+		// A well-formed, correctly checksummed payload over the wrong
+		// variable space must be rejected by the family's Load validation.
+		saved, model := legacyModel(t, good)
+		model.Prep.Names = model.Prep.Names[:5]
+		model.Prep.Powers = model.Prep.Powers[:5]
+		payload, err := json.Marshal(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved.Payload = payload
+		saved.Checksum, err = payloadChecksum(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(saved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := write("shape4.json", data)
+		if _, err := LoadSnapshot(p); !errors.Is(err, ErrModelFamily) {
+			t.Errorf("err = %v, want ErrModelFamily", err)
+		}
+	})
+
 	t.Run("bad checksum", func(t *testing.T) {
 		// Flip one coefficient digit without touching the stored checksum:
 		// the payload no longer matches and LoadSnapshot must refuse it.
-		var saved SavedModel
-		if err := json.Unmarshal(good, &saved); err != nil {
+		saved, model := legacyModel(t, good)
+		model.Coef[0] += 1e-3
+		payload, err := json.Marshal(model)
+		if err != nil {
 			t.Fatal(err)
 		}
-		saved.Model.Coef[0] += 1e-3
+		saved.Payload = payload
 		data, err := json.Marshal(saved)
 		if err != nil {
 			t.Fatal(err)

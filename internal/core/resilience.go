@@ -24,6 +24,11 @@ const (
 	// RungLastGood: both searches failed; the trainer serves the last-good
 	// model (reloaded from disk, or the previous in-memory fit).
 	RungLastGood
+	// RungFamily: the model-family selection round succeeded — every
+	// registered family fitted and scored, winner published. This is the top
+	// rung whenever Trainer.Families is non-empty; the classic genetic rung
+	// takes its place when only the implicit spline family runs.
+	RungFamily
 )
 
 func (r Rung) String() string {
@@ -34,6 +39,8 @@ func (r Rung) String() string {
 		return "stepwise"
 	case RungLastGood:
 		return "last-good"
+	case RungFamily:
+		return "family"
 	default:
 		return "none"
 	}
@@ -49,6 +56,8 @@ func parseRung(s string) Rung {
 		return RungStepwise
 	case "last-good":
 		return RungLastGood
+	case "family":
+		return RungFamily
 	default:
 		return RungNone
 	}
@@ -90,6 +99,14 @@ type TrainReport struct {
 	// a search (for example an empty store).
 	SampleVersion uint64
 	SampleRows    int
+	// Family names the model family the episode published ("spline" on the
+	// classic and stepwise rungs). FamilyScores carries the per-family
+	// selection scores of a family-selection round, and FamilyErrors the
+	// families whose Fit failed mid-selection (skipped, never fatal to the
+	// episode while at least one family fits). Both are nil without a round.
+	Family       string
+	FamilyScores map[string]float64
+	FamilyErrors map[string]error
 	// GramFits and QRFallbacks count how candidate fits were served during
 	// this training attempt's evaluator lifetime: the O(p³) Gram/Cholesky
 	// fast path versus the pivoted-QR fallback (ill-conditioned or
@@ -101,6 +118,12 @@ type TrainReport struct {
 
 func (t TrainReport) String() string {
 	s := "trained via " + t.Rung.String()
+	if t.Family != "" {
+		s += " (family: " + t.Family + ")"
+	}
+	if len(t.FamilyErrors) > 0 {
+		s += fmt.Sprintf(" (%d family fit(s) failed)", len(t.FamilyErrors))
+	}
 	if t.GeneticErr != nil {
 		s += fmt.Sprintf(" (genetic: %v)", t.GeneticErr)
 	}
@@ -166,16 +189,32 @@ func (m *Trainer) TrainResilient(ctx context.Context, r Resilience) (rep TrainRe
 			defer cancel()
 		}
 		if err := m.train(gctx, nil, cap); err == nil {
-			rep.Rung = RungGenetic
+			// The top rung is the selection round when families are
+			// registered, the classic genetic path otherwise; the published
+			// snapshot knows which.
+			snap := m.Snapshot()
+			rep.Rung = snap.Rung()
+			rep.Family = snap.Family()
+			if sel := m.Selection(); sel != nil {
+				rep.FamilyScores = sel.Scores
+				if len(sel.Errors) > 0 {
+					rep.FamilyErrors = sel.Errors
+				}
+			}
 			return rep, nil
 		} else {
 			rep.GeneticErr = err
+			if sel := m.Selection(); sel != nil && len(sel.Errors) > 0 {
+				rep.FamilyErrors = sel.Errors
+			}
 		}
 
 		if err := ctx.Err(); err != nil {
 			rep.StepwiseErr = fmt.Errorf("core: stepwise rung skipped: %w", err)
 		} else if err := m.trainStepwise(ctx, r.StepwiseBudget, cap); err == nil {
+			// The stepwise floor is always the reference spline family.
 			rep.Rung = RungStepwise
+			rep.Family = m.Snapshot().Family()
 			return rep, nil
 		} else {
 			rep.StepwiseErr = err
@@ -186,12 +225,13 @@ func (m *Trainer) TrainResilient(ctx context.Context, r Resilience) (rep TrainRe
 		if loaded, err := LoadSnapshot(r.LastGoodPath); err == nil {
 			m.Adopt(loaded)
 			rep.Rung = RungLastGood
+			rep.Family = loaded.Family()
 			return rep, nil
 		} else {
 			rep.LoadErr = err
 		}
 	}
-	if m.Model() != nil {
+	if m.Trained() {
 		rep.Rung = RungLastGood
 		return rep, nil
 	}

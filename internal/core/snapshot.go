@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 
+	"hsmodel/internal/family"
+	"hsmodel/internal/family/spline"
 	"hsmodel/internal/hwspace"
 	"hsmodel/internal/profile"
 	"hsmodel/internal/regress"
@@ -13,37 +15,110 @@ import (
 var ErrNotTrained = errors.New("core: model not trained")
 
 // Snapshot is an immutable fitted model plus the metadata needed to serve
-// it: the regression (which carries the featurizer's preprocessing state —
-// powers, knots, standardization moments), the profiling shard length, the
-// ladder rung that produced it, and the training-row count. A Trainer
-// publishes a new Snapshot atomically at the end of every successful
+// it: the fitted family model (for the reference spline family this carries
+// the regression with the featurizer's preprocessing state — powers, knots,
+// standardization moments), the family that produced it and the per-family
+// selection scores when the selection harness ran, the profiling shard
+// length, the ladder rung that produced it, and the training-row count. A
+// Trainer publishes a new Snapshot atomically at the end of every successful
 // training run; readers hold a Snapshot and are immune to concurrent
 // retraining. Snapshot is also the unit of persistence (Save/LoadSnapshot).
 //
 // All fields are set at construction and never mutated, so a Snapshot is
 // safe for unsynchronized concurrent use.
 type Snapshot struct {
-	model       *regress.Model
+	famName     string
+	fam         family.Model
+	scores      map[string]float64 // per-family selection scores; nil without selection
 	shardLen    int
 	rung        Rung
 	trainedRows int
 }
 
-// NewSnapshot wraps a fitted model for serving. shardLen <= 0 defaults to
+// NewSnapshot wraps a fitted spline regression for serving — the
+// pre-family-refactor constructor, kept for the classic genetic/stepwise
+// paths and persistence compatibility. shardLen <= 0 defaults to
 // DefaultShardLen.
 func NewSnapshot(model *regress.Model, shardLen int, rung Rung, trainedRows int) *Snapshot {
+	var fam family.Model
+	if model != nil {
+		fam = spline.Wrap(model)
+	}
+	return newFamilySnapshot(spline.FamilyName, fam, nil, shardLen, rung, trainedRows)
+}
+
+// NewFamilySnapshot wraps a fitted model of any family for serving, with the
+// selection scores that chose it (nil when no selection ran).
+func NewFamilySnapshot(famName string, fam family.Model, scores map[string]float64, shardLen int, rung Rung, trainedRows int) *Snapshot {
+	return newFamilySnapshot(famName, fam, scores, shardLen, rung, trainedRows)
+}
+
+func newFamilySnapshot(famName string, fam family.Model, scores map[string]float64, shardLen int, rung Rung, trainedRows int) *Snapshot {
 	if shardLen <= 0 {
 		shardLen = DefaultShardLen
 	}
-	return &Snapshot{model: model, shardLen: shardLen, rung: rung, trainedRows: trainedRows}
+	return &Snapshot{
+		famName:     famName,
+		fam:         fam,
+		scores:      scores,
+		shardLen:    shardLen,
+		rung:        rung,
+		trainedRows: trainedRows,
+	}
 }
 
-// Model returns the fitted regression model.
+// Trained reports whether the snapshot carries a fitted model. Safe on nil.
+func (s *Snapshot) Trained() bool { return s != nil && s.fam != nil }
+
+// Model returns the fitted spline regression when the snapshot is backed by
+// the reference spline family, and nil for other families (whose structure
+// does not reduce to one regression) or before training. Callers that only
+// need predictions should use PredictShard/FamilyModel instead.
 func (s *Snapshot) Model() *regress.Model {
 	if s == nil {
 		return nil
 	}
-	return s.model
+	if sm, ok := s.fam.(*spline.Model); ok {
+		return sm.RegressModel()
+	}
+	return nil
+}
+
+// FamilyModel returns the fitted family model, or nil before training.
+func (s *Snapshot) FamilyModel() family.Model {
+	if s == nil {
+		return nil
+	}
+	return s.fam
+}
+
+// Family returns the name of the family that produced the model ("spline"
+// for the classic paths), or "" before training.
+func (s *Snapshot) Family() string {
+	if s == nil || s.fam == nil {
+		return ""
+	}
+	return s.famName
+}
+
+// FamilyScores returns the per-family selection scores (CV MedAPE on the
+// weighted splits) recorded when the selection harness chose this model, or
+// nil when no selection ran. The returned map is shared and must not be
+// mutated.
+func (s *Snapshot) FamilyScores() map[string]float64 {
+	if s == nil {
+		return nil
+	}
+	return s.scores
+}
+
+// Describe reports the served model's displayable provenance; the zero
+// Description before training.
+func (s *Snapshot) Describe() family.Description {
+	if s == nil || s.fam == nil {
+		return family.Description{}
+	}
+	return s.fam.Describe()
 }
 
 // ShardLen returns the profiling shard length (in instructions) the model's
@@ -59,11 +134,11 @@ func (s *Snapshot) TrainedRows() int { return s.trainedRows }
 // PredictShard predicts the CPI of a shard with characteristics x on
 // hardware hw. Safe on a nil snapshot (returns ErrNotTrained).
 func (s *Snapshot) PredictShard(x profile.Characteristics, hw hwspace.Config) (float64, error) {
-	if s == nil || s.model == nil {
+	if s == nil || s.fam == nil {
 		return 0, ErrNotTrained
 	}
 	sample := Sample{X: x, HW: hw}
-	return s.model.Predict(sample.Row()), nil
+	return s.fam.Predict(sample.Row()), nil
 }
 
 // PredictApplication predicts whole-application CPI on hw by predicting each
@@ -85,10 +160,21 @@ func (s *Snapshot) PredictApplication(shards []profile.Characteristics, hw hwspa
 	return sum / float64(len(shards)), nil
 }
 
-// EvaluateOn measures model accuracy on held-out samples.
+// EvaluateOn measures model accuracy on held-out samples. The spline-backed
+// path goes through the regression's own Evaluate (bit-identical to the
+// pre-family engine); other families predict row by row and share the same
+// metric assembly.
 func (s *Snapshot) EvaluateOn(samples []Sample) (regress.Metrics, error) {
-	if s == nil || s.model == nil {
+	if s == nil || s.fam == nil {
 		return regress.Metrics{}, ErrNotTrained
 	}
-	return s.model.Evaluate(ToDataset(samples)), nil
+	ds := ToDataset(samples)
+	if m := s.Model(); m != nil {
+		return m.Evaluate(ds), nil
+	}
+	pred := make([]float64, ds.NumRows())
+	for i := range pred {
+		pred[i] = s.fam.Predict(ds.X.Row(i))
+	}
+	return regress.Assess(pred, ds.Y), nil
 }

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hsmodel/internal/family"
+	"hsmodel/internal/family/spline"
 	"hsmodel/internal/genetic"
 	"hsmodel/internal/hwspace"
 	"hsmodel/internal/profile"
@@ -102,14 +104,22 @@ type Trainer struct {
 	// model files) so a loaded model profiles new shards consistently;
 	// 0 means DefaultShardLen.
 	ShardLen int
+	// Families, when non-empty, turns each training run into a model-family
+	// selection round: every listed family is fitted against the captured
+	// evaluator state, scored on the shared validation rows, and the winner
+	// is published (see SelectionResult). Empty Families preserves the
+	// pre-family engine exactly: the reference spline family alone, fitted
+	// and published through the classic genetic path bit-for-bit.
+	Families []family.Family
 
-	trainMu    sync.Mutex // serializes training runs; never held with mu below
-	mu         sync.Mutex // guards samples, version, cache, population, history
-	samples    []Sample
-	version    uint64 // bumped by every sample mutation
-	cache      *evalCache
-	population []genetic.Individual // final population, for warm-started updates
-	history    []genetic.GenStats
+	trainMu       sync.Mutex // serializes training runs; never held with mu below
+	mu            sync.Mutex // guards samples, version, cache, population, history, lastSelection
+	samples       []Sample
+	version       uint64 // bumped by every sample mutation
+	cache         *evalCache
+	population    []genetic.Individual // final population, for warm-started updates
+	history       []genetic.GenStats
+	lastSelection *SelectionResult // most recent family-selection round, nil on classic runs
 
 	snap atomic.Pointer[Snapshot]
 }
@@ -162,6 +172,17 @@ func (m *Trainer) History() []genetic.GenStats {
 	defer m.mu.Unlock()
 	return m.history
 }
+
+// Selection returns the most recent family-selection round, or nil when the
+// last training run used the classic single-family path (or none has run).
+func (m *Trainer) Selection() *SelectionResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastSelection
+}
+
+// Trained reports whether a fitted model is currently being served.
+func (m *Trainer) Trained() bool { return m.Snapshot().Trained() }
 
 // Samples returns a copy of the accumulated profile store.
 func (m *Trainer) Samples() []Sample {
@@ -450,16 +471,15 @@ func (m *Trainer) publish(model *regress.Model, rung Rung, rows int) {
 	m.snap.Store(NewSnapshot(model, m.ShardLen, rung, rows))
 }
 
-// train is the shared genetic-rung body. Callers must hold m.trainMu (and
-// must NOT hold m.mu) and pass the evaluator capture the run fits against:
-// the search runs without any lock, and results are published under m.mu at
-// the end, so sample mutation and predictions proceed during the search.
-func (m *Trainer) train(ctx context.Context, initial []regress.Spec, cap capturedEval) error {
-	base := cap.ev
-	m.mu.Lock()
-	m.history = nil
-	m.mu.Unlock()
+// splineFamily is the shared reference-family instance the classic
+// (no-Families) path fits through; the family is stateless.
+var splineFamily = spline.New()
 
+// fitInput assembles the family fitting contract from a captured evaluator:
+// the dataset, shared featurizer, wrapped fitness evaluator, and fully
+// prepared search params (warm-start specs plus the history-recording
+// OnGeneration hook), so every family in a run fits the same episode.
+func (m *Trainer) fitInput(initial []regress.Spec, base *evaluator) family.FitInput {
 	var ev genetic.Evaluator = base
 	if m.WrapEvaluator != nil {
 		ev = m.WrapEvaluator(ev)
@@ -476,21 +496,63 @@ func (m *Trainer) train(ctx context.Context, initial []regress.Spec, cap capture
 			userOnGen(gs)
 		}
 	}
-	res, serr := genetic.Search(ctx, NumVars, ev, params)
-	// Even a partial population is kept: it warm-starts the next attempt.
+	return family.FitInput{
+		NumVars:     NumVars,
+		Dataset:     base.ds,
+		Featurizer:  base.fz,
+		Evaluator:   ev,
+		Search:      params,
+		LogResponse: m.LogResponse,
+		Stabilize:   m.Stabilize,
+		Seed:        m.Fitness.Seed,
+		Weights:     base.weights,
+		ValRows:     base.valRows,
+	}
+}
+
+// train is the shared top-rung body. Callers must hold m.trainMu (and must
+// NOT hold m.mu) and pass the evaluator capture the run fits against: the
+// search runs without any lock, and results are published under m.mu (or the
+// atomic snapshot pointer) at the end, so sample mutation and predictions
+// proceed during the search.
+//
+// With no Families registered this is the paper's engine verbatim — the
+// genetic spline search plus the all-rows final fit, now executed through
+// the extracted reference family — and publishes on RungGenetic. With
+// Families it becomes a selection round publishing the winner on RungFamily.
+func (m *Trainer) train(ctx context.Context, initial []regress.Spec, cap capturedEval) error {
+	base := cap.ev
 	m.mu.Lock()
-	m.population = res.Population
+	m.history = nil
+	m.lastSelection = nil
 	m.mu.Unlock()
-	if serr != nil {
-		return fmt.Errorf("core: search failed: %w", serr)
+
+	in := m.fitInput(initial, base)
+
+	if len(m.Families) == 0 {
+		out, err := splineFamily.Fit(ctx, in)
+		// Even a partial population is kept: it warm-starts the next attempt.
+		m.mu.Lock()
+		m.population = out.Population
+		m.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		m.snap.Store(NewFamilySnapshot(spline.FamilyName, out.Model, nil, m.ShardLen, RungGenetic, cap.rows))
+		return nil
 	}
 
-	// Final fit: best specification, all rows, uniform weights.
-	model, err := base.fz.Fit(res.Best.Spec, regress.Options{LogResponse: m.LogResponse})
-	if err != nil {
-		return fmt.Errorf("core: final fit failed: %w", err)
+	sel, err := runSelection(ctx, m.Families, in)
+	m.mu.Lock()
+	if sel != nil && sel.Population != nil {
+		m.population = sel.Population
 	}
-	m.publish(model, RungGenetic, cap.rows)
+	m.lastSelection = sel
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	m.snap.Store(NewFamilySnapshot(sel.Winner, sel.Model, sel.Scores, m.ShardLen, RungFamily, cap.rows))
 	return nil
 }
 

@@ -74,7 +74,7 @@ func (d Decision) String() string {
 func (m *Trainer) Perturb(ctx context.Context, newSamples []Sample, policy UpdatePolicy) (Decision, error) {
 	policy = policy.withDefaults()
 	var d Decision
-	if m.Model() == nil {
+	if !m.Trained() {
 		return d, fmt.Errorf("core: Perturb before Train")
 	}
 	if len(newSamples) == 0 {

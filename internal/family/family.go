@@ -1,0 +1,134 @@
+// Package family defines the ModelFamily plug-in contract the core engine
+// fits against. A family is one way of turning the accumulated sparse
+// profiles into a predictor over the integrated raw-variable row: the
+// reference implementation is the paper's genetically searched spline
+// regression (family/spline); family/residual composes an analytical cost
+// prior with a learned spline correction on the residual; family/dal
+// partitions the sample space into clusters and fits one local spline model
+// per cluster.
+//
+// The package is deliberately independent of internal/core: it speaks only
+// the regression vocabulary (regress.Dataset, regress.Featurizer) and the
+// search vocabulary (genetic.Evaluator, genetic.Params), so families are
+// reusable over any variable space — the 26-variable general models and the
+// 10-variable spmv domain models alike. The core trainer builds a FitInput
+// from its captured evaluator state, asks every registered family to Fit,
+// scores the fitted models on the same weighted splits, and publishes the
+// winner; see core.SelectFamily.
+//
+// Determinism contract: a family's Fit must be a pure function of FitInput —
+// all randomness flows through FitInput.Seed or the seeded Search params,
+// never the process-global source — and must honor ctx cancellation in every
+// loop that does meaningful work. The repo's hslint analyzers (determinism,
+// ctxflow) enforce both for every package under internal/family/... .
+package family
+
+import (
+	"context"
+	"encoding/json"
+
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/regress"
+)
+
+// Model is a fitted model of one family: a self-contained predictor over the
+// raw variable row. Implementations are immutable after construction and
+// safe for unsynchronized concurrent use — a Model is served lock-free from
+// the core Snapshot.
+type Model interface {
+	// Predict returns the response prediction for one raw variable row
+	// (the same row layout the family was fitted on).
+	Predict(raw []float64) float64
+	// Describe reports human-readable provenance for CLIs and /v1/model.
+	Describe() Description
+	// Payload serializes the model for persistence; Family.Load inverts it.
+	Payload() (json.RawMessage, error)
+}
+
+// Description is the displayable summary of a fitted family model.
+type Description struct {
+	// Family is the owning family's Name.
+	Family string
+	// Spec renders the model structure (the spline specification, the prior
+	// plus correction spec, or the per-cluster layout).
+	Spec string
+	// Terms counts fitted coefficients across the whole model.
+	Terms int
+	// Detail carries family-specific provenance (prior name, cluster count).
+	Detail string
+}
+
+// FitInput is everything a family needs to fit deterministically. The core
+// trainer assembles it from one captured sample-store version, so every
+// family in a selection round fits exactly the same rows under exactly the
+// same per-application weighted splits.
+type FitInput struct {
+	// NumVars is the raw variable count (26 for the general integrated
+	// space, 10 for the spmv domain space).
+	NumVars int
+	// Dataset holds all rows; Group labels each row's application.
+	Dataset *regress.Dataset
+	// Featurizer caches the spline basis columns of Dataset (preprocessing
+	// learned from the full data). Families that fit spline regressions
+	// share it instead of re-deriving transforms.
+	Featurizer *regress.Featurizer
+	// Evaluator is the per-application weighted-split fitness the genetic
+	// spline search optimizes (already wrapped by any instrumentation seam).
+	Evaluator genetic.Evaluator
+	// Search configures spec search: seeded, with Initial warm-start specs
+	// and the OnGeneration convergence hook already installed by the caller.
+	Search genetic.Params
+	// LogResponse and Stabilize mirror the trainer's response-transform and
+	// variance-stabilization configuration.
+	LogResponse bool
+	Stabilize   bool
+	// Seed determinizes family-internal choices (cluster initialization,
+	// internal splits). Derived from the trainer's fitness seed.
+	Seed uint64
+	// Weights are the split observation weights over Dataset rows: the
+	// paper's w on training rows, 0 on validation rows. Nil means no split
+	// (fit and score on all rows).
+	Weights []float64
+	// ValRows lists each application's validation rows (parallel to the
+	// sorted distinct Group values, each sorted ascending). Families score
+	// internal candidates on these rows so their model selection matches
+	// the harness's scoring data.
+	ValRows [][]int
+}
+
+// FitOutput is a successful (or partially successful) fit.
+type FitOutput struct {
+	// Model is the fitted predictor; nil when Fit returned an error.
+	Model Model
+	// Population, when non-nil, is a final search population usable to
+	// warm-start the next update (the spline family returns one even when
+	// the search itself failed, so partial progress is never discarded).
+	Population []genetic.Individual
+}
+
+// Family is one pluggable fitting strategy.
+type Family interface {
+	// Name is the stable identifier used for selection reports, snapshot
+	// persistence, and metrics labels.
+	Name() string
+	// Fit builds a model from in. It must be deterministic in FitInput and
+	// honor ctx; on error the returned FitOutput may still carry a partial
+	// Population.
+	Fit(ctx context.Context, in FitInput) (FitOutput, error)
+	// Load inverts Model.Payload for persistence, validating the payload
+	// against the expected raw variable count.
+	Load(payload json.RawMessage, numVars int) (Model, error)
+}
+
+// MeanValRowsPerApp reports the mean validation-set size of a FitInput's
+// split, or 0 without one — families use it to pick internal budgets.
+func (in FitInput) MeanValRowsPerApp() int {
+	if len(in.ValRows) == 0 {
+		return 0
+	}
+	total := 0
+	for _, rows := range in.ValRows {
+		total += len(rows)
+	}
+	return total / len(in.ValRows)
+}

@@ -1,0 +1,360 @@
+// Package residual is the analytical-prior ModelFamily: a closed-form cost
+// estimate supplies the first-order structure of the response surface, and a
+// learned spline regression corrects what the analysis misses — the
+// compositional analytical-ML fusion of Concorde applied to this engine's
+// spaces. Fit computes the prior p(row) for every sample, fits a spline
+// model to the ratio y/p with the same weighted splits the reference family
+// uses, and serves p(row)·correction(row).
+//
+// Two priors are built in, auto-selected by the raw-row arity: interval26
+// (an interval-analysis CPI estimate over the 13 software + 13 hardware
+// integrated variables) and spmv10 (a streaming-bandwidth Mflop/s estimate
+// over the Table 5 BCSR blocking space). Both are strictly positive on
+// finite rows, so the ratio response stays compatible with the engine's
+// log-response fits.
+package residual
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"hsmodel/internal/family"
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/hwspace"
+	"hsmodel/internal/profile"
+	"hsmodel/internal/regress"
+	"hsmodel/internal/stats"
+)
+
+// FamilyName is the stable identifier of the residual family.
+const FamilyName = "residual"
+
+// defaultBudget caps stepwise fitness evaluations of the correction search:
+// roughly the cost of a few genetic generations, matching the stepwise rung.
+const defaultBudget = 160
+
+// defaultTermPenalty mirrors the engine's parsimony pressure per coefficient.
+const defaultTermPenalty = 0.0004
+
+// Prior is a closed-form response estimate over a raw variable row.
+type Prior struct {
+	// Name identifies the prior in persisted payloads.
+	Name string
+	// Vars is the raw-row arity the estimate expects.
+	Vars int
+	// F computes the estimate; it must be strictly positive and finite for
+	// every finite row.
+	F func(raw []float64) float64
+}
+
+// Family composes an analytical prior with a learned spline correction.
+type Family struct {
+	// Budget caps stepwise fitness evaluations of the correction search
+	// (default 160).
+	Budget int
+	// Prior, when non-nil, overrides the arity-based auto-selection.
+	Prior *Prior
+}
+
+// New returns a residual family with built-in prior auto-selection.
+func New() *Family { return &Family{} }
+
+// Name implements family.Family.
+func (*Family) Name() string { return FamilyName }
+
+// resolvePrior picks the analytical prior for a variable arity.
+func (f *Family) resolvePrior(numVars int) (Prior, error) {
+	if f.Prior != nil {
+		if f.Prior.Vars != numVars {
+			return Prior{}, fmt.Errorf("residual: prior %s expects %d variables, space has %d",
+				f.Prior.Name, f.Prior.Vars, numVars)
+		}
+		return *f.Prior, nil
+	}
+	return priorByName("", numVars)
+}
+
+// priorByName resolves a persisted prior name (or, with an empty name, the
+// default prior for the arity).
+func priorByName(name string, numVars int) (Prior, error) {
+	candidates := []Prior{Interval26(), SPMV10()}
+	for _, p := range candidates {
+		if (name == "" || name == p.Name) && p.Vars == numVars {
+			return p, nil
+		}
+	}
+	if name == "" {
+		return Prior{}, fmt.Errorf("residual: no built-in prior for a %d-variable space", numVars)
+	}
+	return Prior{}, fmt.Errorf("residual: unknown prior %q for a %d-variable space", name, numVars)
+}
+
+// Fit implements family.Family: compute the prior over every row, fit a
+// spline correction to the ratio response on the weighted splits, and keep
+// the specification that predicts the combined response best.
+func (f *Family) Fit(ctx context.Context, in family.FitInput) (family.FitOutput, error) {
+	var out family.FitOutput
+	prior, err := f.resolvePrior(in.NumVars)
+	if err != nil {
+		return out, err
+	}
+	ds := in.Dataset
+	n := ds.NumRows()
+	priors := make([]float64, n)
+	ratio := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p := prior.F(ds.X.Row(i))
+		if !(p > 0) || math.IsInf(p, 0) {
+			return out, fmt.Errorf("residual: prior %s non-positive (%g) on row %d", prior.Name, p, i)
+		}
+		priors[i] = p
+		ratio[i] = ds.Y[i] / p
+	}
+	ratioDS := &regress.Dataset{Names: ds.Names, X: ds.X, Y: ratio, Group: ds.Group}
+	fz, err := regress.NewFeaturizer(ratioDS, in.Stabilize)
+	if err != nil {
+		return out, fmt.Errorf("residual: featurizing ratio response: %w", err)
+	}
+
+	// The correction search optimizes the combined prediction p·m on the
+	// caller's validation rows, so family-internal model selection agrees
+	// with the harness's cross-family scoring data.
+	eval := genetic.EvaluatorFunc(func(spec regress.Spec) float64 {
+		m, err := fz.Fit(spec, regress.Options{LogResponse: true, Weights: in.Weights})
+		if err != nil {
+			return 1e6
+		}
+		score := scoreCombined(ds, in.ValRows, priors, m)
+		return score + defaultTermPenalty*float64(len(m.Coef))
+	})
+	budget := f.Budget
+	if budget <= 0 {
+		budget = defaultBudget
+	}
+	res, serr := genetic.Stepwise(ctx, in.NumVars, eval, budget)
+	if serr != nil {
+		return out, fmt.Errorf("residual: correction search failed: %w", serr)
+	}
+	// Final correction fit: best specification, all rows, uniform weights.
+	corr, err := fz.Fit(res.Best.Spec, regress.Options{LogResponse: true})
+	if err != nil {
+		return out, fmt.Errorf("residual: final fit failed: %w", err)
+	}
+	out.Model = &Model{prior: prior, corr: corr}
+	return out, nil
+}
+
+// scoreCombined returns the mean per-application MedAPE of the combined
+// prediction prior·correction on the validation rows. Without a split it
+// scores all rows as one application.
+func scoreCombined(ds *regress.Dataset, valRows [][]int, priors []float64, corr *regress.Model) float64 {
+	if len(valRows) == 0 {
+		all := make([]int, ds.NumRows())
+		for i := range all {
+			all[i] = i
+		}
+		valRows = [][]int{all}
+	}
+	var sum float64
+	n := 0
+	for _, val := range valRows {
+		if len(val) == 0 {
+			continue
+		}
+		pred := make([]float64, len(val))
+		truth := make([]float64, len(val))
+		for k, r := range val {
+			pred[k] = priors[r] * corr.Predict(ds.X.Row(r))
+			truth[k] = ds.Y[r]
+		}
+		sum += stats.MedianAbsPctError(pred, truth)
+		n++
+	}
+	if n == 0 {
+		return 1e6
+	}
+	return sum / float64(n)
+}
+
+// payload is the persisted form of a residual model.
+type payload struct {
+	Prior string         `json:"prior"`
+	Model *regress.Model `json:"model"`
+}
+
+// Load implements family.Family.
+func (*Family) Load(raw json.RawMessage, numVars int) (family.Model, error) {
+	var p payload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, fmt.Errorf("residual: decoding payload: %w", err)
+	}
+	if p.Model == nil || p.Model.Prep == nil || len(p.Model.Coef) == 0 {
+		return nil, fmt.Errorf("residual: payload missing correction model")
+	}
+	if p.Model.Prep.NumVars() != numVars {
+		return nil, fmt.Errorf("residual: payload has %d variables, want %d",
+			p.Model.Prep.NumVars(), numVars)
+	}
+	prior, err := priorByName(p.Prior, numVars)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{prior: prior, corr: p.Model}, nil
+}
+
+// Model is a fitted residual model: analytical prior times learned
+// correction. Immutable and safe for concurrent use.
+type Model struct {
+	prior Prior
+	corr  *regress.Model
+}
+
+// Predict implements family.Model.
+func (m *Model) Predict(raw []float64) float64 {
+	return m.prior.F(raw) * m.corr.Predict(raw)
+}
+
+// Describe implements family.Model.
+func (m *Model) Describe() family.Description {
+	return family.Description{
+		Family: FamilyName,
+		Spec:   fmt.Sprintf("%s × %s", m.prior.Name, m.corr.Spec.String()),
+		Terms:  len(m.corr.Coef),
+		Detail: "prior " + m.prior.Name,
+	}
+}
+
+// Payload implements family.Model.
+func (m *Model) Payload() (json.RawMessage, error) {
+	data, err := json.Marshal(payload{Prior: m.prior.Name, Model: m.corr})
+	if err != nil {
+		return nil, fmt.Errorf("residual: encoding payload: %w", err)
+	}
+	return data, nil
+}
+
+// clamp01 bounds a probability-like estimate.
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Interval-analysis constants matching the internal/cpu simulator's memory
+// system: miss latency to memory, the branch misprediction penalty, and the
+// 64-byte line the reuse-distance characteristics are measured in.
+const (
+	intervalMemLatency  = 120.0
+	intervalL1Latency   = 1.0
+	mispredictPenalty   = 8.0
+	reuseLineBytes      = 64.0
+	perKiloInstructions = 1000.0
+)
+
+// Interval26 is the interval-analysis CPI prior over the integrated
+// 26-variable space: issue-bound base cycles plus first-order penalties for
+// functional-unit contention, branch mispredictions, and cache misses
+// estimated from the reuse-distance characteristics against the configured
+// capacities. It is a deliberate simplification of internal/cpu — the
+// learned correction absorbs second-order structure — but every term is
+// non-negative and the base is strictly positive, so the prior is safe
+// under log-response ratios.
+func Interval26() Prior {
+	return Prior{Name: "interval26", Vars: profile.NumCharacteristics + hwspace.NumParams, F: interval26}
+}
+
+func interval26(raw []float64) float64 {
+	x := raw[:profile.NumCharacteristics]
+	h := raw[profile.NumCharacteristics:]
+	width := math.Max(1, h[0])
+	mshrs := math.Max(1, h[3])
+	dcacheBytes := math.Max(1, h[4]) * 1024
+	icacheBytes := math.Max(1, h[5]) * 1024
+	l2Bytes := math.Max(1, h[6]) * 1024
+	l2Lat := math.Max(intervalL1Latency, h[7])
+	intALUs := math.Max(1, h[8])
+	intMuls := math.Max(1, h[9])
+	fpALUs := math.Max(1, h[10])
+	fpMuls := math.Max(1, h[11])
+	ports := math.Max(1, h[12])
+
+	perInst := func(i int) float64 { return math.Max(0, x[i]) / perKiloInstructions }
+
+	// Issue-bound base: one instruction per width cycles.
+	cpi := 1 / width
+
+	// Functional-unit contention: demanded occupancy per unit, with the
+	// multi-cycle classes weighted by their execution latencies.
+	cpi += perInst(profile.XIntALU) / intALUs
+	cpi += 3 * perInst(profile.XIntMulDiv) / intMuls
+	cpi += 2 * perInst(profile.XFPALU) / fpALUs
+	cpi += 4 * perInst(profile.XFPMulDiv) / fpMuls
+	cpi += perInst(profile.XMemory) / ports
+
+	// Branch mispredictions: the control-density share of taken branches
+	// pays the pipeline refill.
+	cpi += 0.1 * perInst(profile.XTakenBranches) * mispredictPenalty
+
+	// Data-side stalls: reuse distance (in 64-byte lines) against each
+	// capacity approximates the miss probability; misses overlap across the
+	// configured MSHRs.
+	dFootprint := math.Max(0, x[profile.XDReuse]) * reuseLineBytes
+	missL1 := clamp01(dFootprint / dcacheBytes)
+	missL2 := clamp01(dFootprint / l2Bytes)
+	memStall := missL1 * ((1-missL2)*l2Lat + missL2*intervalMemLatency)
+	cpi += perInst(profile.XMemory) * memStall / math.Sqrt(mshrs)
+
+	// Instruction-side stalls: same capacity argument against the i-cache,
+	// serialized (front-end misses do not overlap).
+	iFootprint := math.Max(0, x[profile.XIReuse]) * reuseLineBytes
+	cpi += clamp01(iFootprint/icacheBytes) * l2Lat / width
+
+	return cpi
+}
+
+// Streaming-bandwidth constants matching the internal/spmv kernel model.
+const (
+	spmvMemBaseLatency   = 20.0
+	spmvMemBytesPerCycle = 8.0
+	spmvClockMHz         = 400.0
+	spmvValueBytes       = 8.0
+	spmvIndexBytes       = 4.0
+)
+
+// SPMV10 is the Mflop/s prior over the Table 5 BCSR blocking space: useful
+// flops per stored value shrink with the fill ratio, while the streaming
+// cost per value amortizes index overhead over the block and the line size
+// over the transfer — the first-order blocking trade-off of Section 5.3.
+func SPMV10() Prior {
+	return Prior{Name: "spmv10", Vars: 10, F: spmv10}
+}
+
+func spmv10(raw []float64) float64 {
+	r := math.Max(1, raw[0])
+	c := math.Max(1, raw[1])
+	fill := math.Max(1, raw[2])
+	lineBytes := math.Max(16, raw[3])
+	dcacheBytes := math.Max(1024, raw[4])
+
+	// Bytes streamed per stored value: the value itself plus the block
+	// column index amortized over the block.
+	bytesPerVal := spmvValueBytes + spmvIndexBytes/(r*c)
+	// Line fetches per value, each paying the fixed latency plus transfer.
+	missCost := spmvMemBaseLatency + lineBytes/spmvMemBytesPerCycle
+	linesPerVal := bytesPerVal / lineBytes
+	// Source-vector pressure: small data caches re-fetch x entries; wider
+	// blocks reuse each x entry r times per block column.
+	vecPenalty := clamp01(256*1024/dcacheBytes) / r
+	cyclesPerVal := 2 + linesPerVal*missCost + vecPenalty
+
+	// True flops per stored value shrink with fill (explicit zeros compute
+	// but do not count); cycles convert to Mflop/s at the design clock.
+	flopsPerVal := 2 / fill
+	return spmvClockMHz * flopsPerVal / cyclesPerVal
+}

@@ -1,0 +1,101 @@
+// Package spline is the reference ModelFamily: the paper's genetically
+// searched spline regression, extracted verbatim from the core trainer's
+// original fit path. Fit runs the seeded genetic specification search
+// against the caller's weighted-split evaluator and refits the winning
+// specification on all rows with uniform weights — the exact sequence the
+// engine performed before the family refactor, so a trainer with only this
+// family registered reproduces the Figure 5 convergence numbers
+// bit-identically.
+package spline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"hsmodel/internal/family"
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/regress"
+)
+
+// FamilyName is the stable identifier of the reference family.
+const FamilyName = "spline"
+
+// Family is the genetic spline-search family. The zero value is ready to
+// use; New exists for symmetry with the other families.
+type Family struct{}
+
+// New returns the reference spline family.
+func New() *Family { return &Family{} }
+
+// Name implements family.Family.
+func (*Family) Name() string { return FamilyName }
+
+// Fit runs the genetic specification search and the all-rows final fit.
+// The returned FitOutput carries the final population even when the search
+// failed, so callers can warm-start a retry from partial progress.
+func (*Family) Fit(ctx context.Context, in family.FitInput) (family.FitOutput, error) {
+	var out family.FitOutput
+	res, serr := genetic.Search(ctx, in.NumVars, in.Evaluator, in.Search)
+	out.Population = res.Population
+	if serr != nil {
+		return out, fmt.Errorf("spline: search failed: %w", serr)
+	}
+	// Final fit: best specification, all rows, uniform weights.
+	model, err := in.Featurizer.Fit(res.Best.Spec, regress.Options{LogResponse: in.LogResponse})
+	if err != nil {
+		return out, fmt.Errorf("spline: final fit failed: %w", err)
+	}
+	out.Model = &Model{model: model}
+	return out, nil
+}
+
+// Load implements family.Family: the payload is the regress.Model JSON.
+func (*Family) Load(payload json.RawMessage, numVars int) (family.Model, error) {
+	var m regress.Model
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("spline: decoding payload: %w", err)
+	}
+	if m.Prep == nil || len(m.Coef) == 0 {
+		return nil, errors.New("spline: payload missing preprocessing or coefficients")
+	}
+	if m.Prep.NumVars() != numVars {
+		return nil, fmt.Errorf("spline: payload has %d variables, want %d", m.Prep.NumVars(), numVars)
+	}
+	return &Model{model: &m}, nil
+}
+
+// Model wraps a fitted spline regression as a family.Model.
+type Model struct {
+	model *regress.Model
+}
+
+// Wrap adapts an already-fitted spline regression (for example one loaded
+// from a pre-family snapshot file) into the family contract.
+func Wrap(m *regress.Model) *Model { return &Model{model: m} }
+
+// Predict implements family.Model.
+func (m *Model) Predict(raw []float64) float64 { return m.model.Predict(raw) }
+
+// RegressModel exposes the underlying regression for callers that still
+// speak the pre-family API (core.Snapshot.Model, the experiments layer).
+func (m *Model) RegressModel() *regress.Model { return m.model }
+
+// Describe implements family.Model.
+func (m *Model) Describe() family.Description {
+	return family.Description{
+		Family: FamilyName,
+		Spec:   m.model.Spec.String(),
+		Terms:  len(m.model.Coef),
+	}
+}
+
+// Payload implements family.Model.
+func (m *Model) Payload() (json.RawMessage, error) {
+	data, err := json.Marshal(m.model)
+	if err != nil {
+		return nil, fmt.Errorf("spline: encoding payload: %w", err)
+	}
+	return data, nil
+}

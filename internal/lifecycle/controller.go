@@ -263,7 +263,7 @@ func (c *Controller) Submit(s core.Sample) {
 	c.submissions++
 
 	tripped := c.detector.Tripped()
-	if snap := c.live.Snapshot(); snap != nil && snap.Model() != nil && s.CPI > 0 {
+	if snap := c.live.Snapshot(); snap.Trained() && s.CPI > 0 {
 		if pred, err := snap.PredictShard(s.X, s.HW); err == nil {
 			tripped = c.detector.Observe((pred - s.CPI) / s.CPI)
 		}
@@ -382,6 +382,7 @@ func (c *Controller) runEpisode(train, canary []core.Sample) {
 	shadow.LogResponse = c.live.LogResponse
 	shadow.ShardLen = c.live.ShardLen
 	shadow.WrapEvaluator = c.cfg.WrapEvaluator
+	shadow.Families = c.live.Families
 
 	r := c.cfg.Resilience
 	r.LastGoodPath = "" // a candidate must come from a search, never disk
@@ -405,7 +406,7 @@ func (c *Controller) runEpisode(train, canary []core.Sample) {
 	incumbent := c.live.Snapshot()
 	var incumbentAPE float64
 	haveIncumbent := false
-	if incumbent != nil && incumbent.Model() != nil {
+	if incumbent.Trained() {
 		if m, err := incumbent.EvaluateOn(canary); err == nil {
 			incumbentAPE = m.MedAPE
 			haveIncumbent = true

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"hsmodel/internal/core"
+	"hsmodel/internal/family"
+	"hsmodel/internal/family/spline"
 	"hsmodel/internal/faultinject"
 	"hsmodel/internal/lifecycle"
 	"hsmodel/internal/trace"
@@ -128,5 +130,95 @@ func TestLifecycleHTTPEpisode(t *testing.T) {
 		if !strings.Contains(string(body), marker) {
 			t.Errorf("metrics missing %q", marker)
 		}
+	}
+}
+
+// modelInfo fetches and decodes GET /v1/model.
+func modelInfo(t testing.TB, url string) hsmodel.ModelInfo {
+	t.Helper()
+	resp, body := getBody(t, url+"/v1/model")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model: status %d: %s", resp.StatusCode, body)
+	}
+	var info hsmodel.ModelInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// TestLifecyclePromotionCarriesFamily: when the live trainer runs family
+// selection, a shadow-retrained candidate promoted by the lifecycle loop must
+// surface its family identity on the wire — GET /v1/model reports the family
+// and the selection scoreboard of the promoted snapshot, and /metrics labels
+// the served family — not the bootstrap model's provenance.
+func TestLifecyclePromotionCarriesFamily(t *testing.T) {
+	tr := newTestTrainer(t)
+	// Restrict selection to the reference family so each retrain episode
+	// stays as cheap as the classic path; the wire contract under test is the
+	// same for any registered set.
+	tr.Families = []family.Family{spline.New()}
+	col := &core.Collector{ShardLen: 20_000, ShardPool: 12}
+	stream := col.Collect([]*trace.App{trace.Bzip2(), trace.Hmmer(), trace.Sjeng()}, 60, 21)
+
+	// MinTrainRows is sized so the shadow's selection round can fit the full
+	// winning spec (more rows than design columns) and promote from the
+	// family rung rather than degrading to stepwise.
+	_, ts := newTestServer(t, Config{
+		Trainer: tr,
+		Lifecycle: &lifecycle.Config{
+			Drift:        lifecycle.DriftConfig{Target: 0.2},
+			MinProfiles:  10,
+			MinTrainRows: 60,
+			ReservoirCap: 128,
+			RingCap:      32,
+			Seed:         11,
+		},
+	})
+
+	// The bootstrap model predates selection: spline family, no scoreboard.
+	before := modelInfo(t, ts.URL)
+	if before.Family != spline.FamilyName {
+		t.Fatalf("bootstrap family %q, want %q", before.Family, spline.FamilyName)
+	}
+	if len(before.FamilyScores) != 0 {
+		t.Fatalf("bootstrap model has selection scores %v before any selection ran", before.FamilyScores)
+	}
+
+	sched := &faultinject.DriftSchedule{Segments: []faultinject.DriftSegment{{From: 1, Factor: 1.6}}}
+	deadline := time.Now().Add(2 * time.Minute)
+	var promoted bool
+	for i := 0; !promoted; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("no promotion within deadline")
+		}
+		v := stream[i%len(stream)]
+		v.CPI, _ = sched.Next(v.CPI)
+		postSample(t, ts.URL, v)
+		for {
+			st := lifecycleStatus(t, ts.URL)
+			if st.State != "retraining" && st.State != "canary" {
+				promoted = st.Promotions > 0
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	after := modelInfo(t, ts.URL)
+	if after.Family != spline.FamilyName {
+		t.Errorf("promoted family %q, want %q", after.Family, spline.FamilyName)
+	}
+	if after.Rung != core.RungFamily.String() {
+		t.Errorf("promoted rung %q, want %q: the served snapshot is not the selection-produced candidate", after.Rung, core.RungFamily)
+	}
+	if _, ok := after.FamilyScores[spline.FamilyName]; !ok {
+		t.Errorf("promoted model lost its selection scoreboard: %v", after.FamilyScores)
+	}
+
+	_, body := getBody(t, ts.URL+"/metrics")
+	marker := `hsserve_model_family{family="spline"} 1`
+	if !strings.Contains(string(body), marker) {
+		t.Errorf("metrics missing %q", marker)
 	}
 }

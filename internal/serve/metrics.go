@@ -150,6 +150,7 @@ type snapshotState struct {
 	version uint64
 	age     time.Duration
 	trained bool
+	family  string // served model family name; "" before training
 }
 
 // writeTo renders the full exposition page. Lock coverage on the read path:
@@ -212,6 +213,11 @@ func (m *metrics) writeTo(w io.Writer, snap snapshotState, lc *lifecycleState) {
 		trained = 1
 	}
 	fmt.Fprintf(w, "hsserve_model_trained %d\n", trained)
+	if snap.family != "" {
+		io.WriteString(w, "# HELP hsserve_model_family Which model family the served snapshot came from (1 on the served family's label).\n")
+		io.WriteString(w, "# TYPE hsserve_model_family gauge\n")
+		fmt.Fprintf(w, "hsserve_model_family{family=%q} 1\n", snap.family)
+	}
 
 	io.WriteString(w, "# HELP hsserve_samples_accepted_total Profiles absorbed via POST /v1/samples.\n")
 	io.WriteString(w, "# TYPE hsserve_samples_accepted_total counter\n")

@@ -159,8 +159,8 @@ func (s *Server) Close() {
 	}
 }
 
-// Reload hot-swaps the served snapshot from Config.ModelPath (the v2/v3
-// persistence format). A snapshot that fails validation — the typed
+// Reload hot-swaps the served snapshot from Config.ModelPath (any loadable
+// persistence version; the current family-aware v4 or the legacy v2/v3). A snapshot that fails validation — the typed
 // core.ErrModel* persistence errors — leaves the served model untouched.
 // cmd/hsserve wires this to SIGHUP.
 func (s *Server) Reload() error {
@@ -406,10 +406,14 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		SnapshotVersion: version,
 		SnapshotAgeSec:  time.Since(since).Seconds(),
 	}
-	if m := snap.Model(); m != nil {
+	if snap.Trained() {
+		desc := snap.Describe()
 		info.Trained = true
-		info.Spec = m.Spec.String()
-		info.Terms = len(m.Coef)
+		info.Family = snap.Family()
+		info.FamilyScores = snap.FamilyScores()
+		info.Spec = desc.Spec
+		info.Terms = desc.Terms
+		info.Detail = desc.Detail
 		info.Rung = snap.Rung().String()
 		info.TrainedRows = snap.TrainedRows()
 		info.ShardLen = snap.ShardLen()
@@ -423,7 +427,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_, _, snap := s.observeSnapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"trained": snap.Model() != nil,
+		"trained": snap.Trained(),
 	})
 }
 
@@ -438,7 +442,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.writeTo(w, snapshotState{
 		version: version,
 		age:     time.Since(since),
-		trained: snap.Model() != nil,
+		trained: snap.Trained(),
+		family:  snap.Family(),
 	}, lc)
 }
 

@@ -22,6 +22,7 @@ package hsmodel
 
 import (
 	"hsmodel/internal/core"
+	"hsmodel/internal/family"
 	"hsmodel/internal/genetic"
 	"hsmodel/internal/hwspace"
 	"hsmodel/internal/lifecycle"
@@ -82,6 +83,18 @@ type (
 	LifecycleStatus = lifecycle.Status
 	// DriftConfig tunes the EWMA+CUSUM drift detector.
 	DriftConfig = lifecycle.DriftConfig
+	// ModelFamily is one pluggable fitting strategy (Fit/Load); the engine
+	// ships spline (the paper's reference), residual, and dal — see
+	// DefaultFamilies and WithFamilies.
+	ModelFamily = family.Family
+	// FamilyModel is a fitted model of one family: the self-contained
+	// predictor a Snapshot serves.
+	FamilyModel = family.Model
+	// FamilyDescription is the displayable summary of a fitted family model.
+	FamilyDescription = family.Description
+	// SelectionResult records one family-selection round: per-family scores,
+	// per-family fit errors, and the winner.
+	SelectionResult = core.SelectionResult
 )
 
 // Dimensions of the integrated space.
@@ -102,6 +115,7 @@ const (
 	RungGenetic  = core.RungGenetic
 	RungStepwise = core.RungStepwise
 	RungLastGood = core.RungLastGood
+	RungFamily   = core.RungFamily
 )
 
 // Sentinel errors callers branch on with errors.Is.
@@ -116,6 +130,10 @@ var (
 	ErrModelIncomplete = core.ErrModelIncomplete
 	ErrModelShape      = core.ErrModelShape
 	ErrModelChecksum   = core.ErrModelChecksum
+	ErrModelFamily     = core.ErrModelFamily
+	// ErrAllFamiliesFailed is returned by a selection round in which no
+	// registered family produced a model.
+	ErrAllFamiliesFailed = core.ErrAllFamiliesFailed
 )
 
 // Option configures a Trainer at construction; see New.
@@ -180,6 +198,32 @@ func WithStabilize(on bool) Option {
 func WithShardLen(n int) Option {
 	return func(t *Trainer) { t.ShardLen = n }
 }
+
+// WithFamilies registers an explicit set of model families: every training
+// run becomes a selection round that fits each family against the same
+// captured evaluator state, scores all of them on the shared validation
+// rows, and publishes the winner (TrainReport.Family / Snapshot.Family say
+// which; Trainer.Selection has the full scoreboard). An empty set restores
+// the classic engine — the reference spline family alone on the genetic
+// rung, bit-identical to the pre-family fit path.
+func WithFamilies(fams ...ModelFamily) Option {
+	return func(t *Trainer) { t.Families = fams }
+}
+
+// WithFamilySelection registers all built-in families (spline, residual,
+// dal); shorthand for WithFamilies(DefaultFamilies()...).
+func WithFamilySelection() Option {
+	return func(t *Trainer) { t.Families = core.DefaultFamilies() }
+}
+
+// DefaultFamilies returns the built-in model families: the reference
+// genetic spline search, the analytical-prior residual learner, and the
+// divide-and-learn clustered splines.
+func DefaultFamilies() []ModelFamily { return core.DefaultFamilies() }
+
+// FamilyByName resolves a built-in family from its stable name ("spline",
+// "residual", "dal"); nil for unknown names.
+func FamilyByName(name string) ModelFamily { return core.FamilyByName(name) }
 
 // LoadSnapshot reads a model snapshot persisted by Snapshot.Save (or
 // Trainer.Save), verifying version, structure, shape, and checksum; failure

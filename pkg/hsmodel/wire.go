@@ -92,9 +92,16 @@ type SamplesResponse struct {
 
 // ModelInfo describes the currently served snapshot and its provenance.
 type ModelInfo struct {
-	Trained     bool   `json:"trained"`
-	Spec        string `json:"spec,omitempty"`
-	Terms       int    `json:"terms,omitempty"`
+	Trained bool `json:"trained"`
+	// Family names the model family serving predictions ("spline",
+	// "residual", "dal"); FamilyScores carries the per-family CV MedAPE of
+	// the selection round that chose it, when one ran.
+	Family       string             `json:"family,omitempty"`
+	FamilyScores map[string]float64 `json:"family_scores,omitempty"`
+	Spec         string             `json:"spec,omitempty"`
+	Terms        int                `json:"terms,omitempty"`
+	// Detail is family-specific provenance (prior name, cluster count).
+	Detail      string `json:"detail,omitempty"`
 	Rung        string `json:"rung,omitempty"`
 	TrainedRows int    `json:"trained_rows,omitempty"`
 	ShardLen    int    `json:"shard_len,omitempty"`
