@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint bench-smoke serve-smoke families-smoke ci
+.PHONY: build vet test race lint bench-smoke serve-smoke serve-bench families-smoke ci
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,21 @@ bench-smoke:
 serve-smoke:
 	$(GO) run ./cmd/hsserve -selfcheck
 	$(GO) run ./cmd/hsserve -driftcheck
+
+# serve-bench measures the serving path: it boots a bootstrap-trained hsserve
+# on a loopback port, drives it with cmd/hsload (concurrent single predicts —
+# the unbatched seed wire shape — then multi-item batch posts answered in
+# contiguous PredictBatch sweeps), and writes BENCH_pr8.json with throughput,
+# p50/p99/p999 latency, and the batch-vs-single speedup. The server is always
+# torn down, even when the load run fails.
+serve-bench:
+	$(GO) build -o hsserve-bench ./cmd/hsserve
+	$(GO) build -o hsload ./cmd/hsload
+	./hsserve-bench -addr 127.0.0.1:18808 -bootstrap -apps 3 -samples 40 -pop 8 -gens 2 -seed 7 -shardlen 20000 & \
+	SRV=$$!; \
+	for i in $$(seq 1 120); do curl -sf http://127.0.0.1:18808/healthz >/dev/null 2>&1 && break; sleep 1; done; \
+	./hsload -addr http://127.0.0.1:18808 -duration 3s -conc 8 -out BENCH_pr8.json; RC=$$?; \
+	kill $$SRV; wait $$SRV 2>/dev/null; exit $$RC
 
 # families-smoke runs the model-family selection harness end to end on the
 # spmv domain corpus: all three built-in families (spline, residual, dal)

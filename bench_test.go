@@ -548,18 +548,44 @@ func BenchmarkGenerationFitness(b *testing.B) {
 	})
 }
 
+// BenchmarkModelPredict measures the serving hot path in scalar and batch
+// form with allocation accounting. One warm-up call grows the caller-owned
+// scratch to its high-water mark; after that every prediction must report
+// 0 allocs/op (the batch form additionally answers all rows in a single
+// contiguous matrix-vector sweep).
 func BenchmarkModelPredict(b *testing.B) {
 	w := workspace()
 	m, err := w.Model()
 	if err != nil {
 		b.Fatal(err)
 	}
-	sample := w.ValidationSamples()[0]
-	row := sample.Row()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.Model().Predict(row)
+	model := m.Model()
+	samples := w.ValidationSamples()
+	rows := make([][]float64, len(samples))
+	for i, s := range samples {
+		rows[i] = s.Row()
 	}
+
+	b.Run("scalar", func(b *testing.B) {
+		var scratch regress.PredictScratch
+		model.PredictWith(&scratch, rows[0])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			model.PredictWith(&scratch, rows[i%len(rows)])
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		var scratch regress.PredictScratch
+		out := make([]float64, len(rows))
+		model.PredictBatchWith(&scratch, rows, out)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			model.PredictBatchWith(&scratch, rows, out)
+		}
+		b.ReportMetric(float64(len(rows)), "preds/op")
+	})
 }
 
 func BenchmarkQRFactorization(b *testing.B) {

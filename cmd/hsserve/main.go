@@ -49,6 +49,7 @@ func main() {
 	shardLen := flag.Int("shardlen", 50_000, "bootstrap: shard length in instructions")
 	maxBatch := flag.Int("max-batch", 32, "predictions coalesced into one model pass")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "batcher wait to fill a batch")
+	shards := flag.Int("shards", 0, "batcher queue+worker shards (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
 	selfcheck := flag.Bool("selfcheck", false, "bootstrap a tiny model, exercise the API over loopback, exit")
 	lifecycleOn := flag.Bool("lifecycle", false, "run the continuous-learning control loop on /v1/samples (bounded stores, drift detection, canary-gated retrains)")
@@ -85,6 +86,7 @@ func main() {
 		Trainer:        tr,
 		MaxBatch:       *maxBatch,
 		MaxWait:        *maxWait,
+		Shards:         *shards,
 		RequestTimeout: *timeout,
 		ModelPath:      *modelPath,
 		Logger:         logger,

@@ -75,6 +75,7 @@ func All() []*Analyzer {
 		ErrCmp,
 		FloatEq,
 		CtxFlow,
+		HotAlloc,
 	}
 }
 

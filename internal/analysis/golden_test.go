@@ -33,6 +33,10 @@ func TestCtxFlowGolden(t *testing.T) {
 	runGolden(t, filepath.Join("testdata", "ctxflow"), CtxFlow)
 }
 
+func TestHotAllocGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "hotalloc"), HotAlloc)
+}
+
 // TestMisuseCorpusGolden reuses faultinject's misuse corpus under the full
 // analyzer set: every planted bug must be reported, and nothing else.
 func TestMisuseCorpusGolden(t *testing.T) {

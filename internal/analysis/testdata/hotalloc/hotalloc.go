@@ -1,0 +1,91 @@
+// Fixture for the hotalloc analyzer: the //hslint:hotpath marker promises a
+// zero-steady-state-allocation function body; every allocating construct
+// inside one is planted with a want expectation, and the same constructs in
+// un-annotated functions (the warm-up/growth paths) are legal.
+package serve
+
+type scratch struct {
+	row   []float64
+	cache map[string]float64
+	sum   float64
+}
+
+// ensure is the growth path: un-annotated, so its allocations are legal.
+func (s *scratch) ensure(n int) {
+	if cap(s.row) < n {
+		s.row = make([]float64, n)
+	}
+	if s.cache == nil {
+		s.cache = map[string]float64{}
+	}
+}
+
+// predictMake allocates its buffer per call.
+//
+//hslint:hotpath
+func predictMake(n int) []float64 {
+	return make([]float64, n) // want `make in hotpath predictMake allocates per call`
+}
+
+// predictAppend grows a slice on the hot path.
+//
+//hslint:hotpath
+func predictAppend(dst, src []float64) []float64 {
+	for _, v := range src {
+		dst = append(dst, v*v) // want `append in hotpath predictAppend can grow on any call`
+	}
+	return dst
+}
+
+// predictMapLit builds a map per call.
+//
+//hslint:hotpath
+func predictMapLit(k string, v float64) map[string]float64 {
+	return map[string]float64{k: v} // want `map literal in hotpath predictMapLit allocates per call`
+}
+
+// predictClosure captures a local, heap-allocating the closure context.
+//
+//hslint:hotpath
+func predictClosure(rows [][]float64) func() int {
+	total := 0
+	return func() int { // want `closure in hotpath predictClosure captures rows`
+		for range rows {
+			total++
+		}
+		return total
+	}
+}
+
+// predictClean reuses caller-owned buffers with indexed writes: the shape
+// every hotpath function is held to. Legal.
+//
+//hslint:hotpath
+func (s *scratch) predictClean(rows [][]float64, out []float64) {
+	for i, r := range rows {
+		acc := 0.0
+		for j, v := range r {
+			acc += v * s.row[j]
+		}
+		out[i] = acc
+	}
+}
+
+// staticClosure references only package state: a static function value, no
+// per-call context. Legal even on the hot path.
+//
+//hslint:hotpath
+func staticClosure() func() float64 {
+	return func() float64 { return floor }
+}
+
+var floor = 1.0
+
+// coldAppend is un-annotated: append and make stay legal off the hot path.
+func coldAppend(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

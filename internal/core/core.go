@@ -67,11 +67,19 @@ type Sample struct {
 
 // Row returns the 26-element raw variable vector of the sample.
 func (s Sample) Row() []float64 {
-	row := make([]float64, 0, NumVars)
-	row = append(row, s.X[:]...)
-	hw := s.HW.Vector()
-	row = append(row, hw[:]...)
+	row := make([]float64, NumVars)
+	s.RowInto(row)
 	return row
+}
+
+// RowInto fills row (length at least NumVars) with the sample's raw variable
+// vector: the zero-allocation form of Row for the serving hot path.
+//
+//hslint:hotpath
+func (s Sample) RowInto(row []float64) {
+	copy(row, s.X[:])
+	hw := s.HW.Vector()
+	copy(row[profile.NumCharacteristics:], hw[:])
 }
 
 // ToDataset converts samples to a regression dataset with CPI as the

@@ -20,6 +20,11 @@ type constModel struct {
 }
 
 func (m constModel) Predict([]float64) float64 { return m.val }
+func (m constModel) PredictBatch(rows [][]float64, out []float64) {
+	for i := range rows {
+		out[i] = m.val
+	}
+}
 func (m constModel) Describe() family.Description {
 	return family.Description{Family: m.fam, Spec: "const"}
 }

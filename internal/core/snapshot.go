@@ -137,25 +137,55 @@ func (s *Snapshot) PredictShard(x profile.Characteristics, hw hwspace.Config) (f
 	if s == nil || s.fam == nil {
 		return 0, ErrNotTrained
 	}
-	sample := Sample{X: x, HW: hw}
-	return s.fam.Predict(sample.Row()), nil
+	return s.PredictShardInto(make([]float64, NumVars), x, hw)
+}
+
+// PredictShardInto is PredictShard with a caller-owned row buffer (length at
+// least NumVars): the zero-allocation serving form. The buffer is scratch —
+// callers reuse it across calls and must not read it back.
+//
+//hslint:hotpath
+func (s *Snapshot) PredictShardInto(row []float64, x profile.Characteristics, hw hwspace.Config) (float64, error) {
+	if s == nil || s.fam == nil {
+		return 0, ErrNotTrained
+	}
+	Sample{X: x, HW: hw}.RowInto(row)
+	return s.fam.Predict(row), nil
+}
+
+// PredictBatch predicts every raw row of rows into out (out[i] answers
+// rows[i]; len(out) must be at least len(rows)) through the family's batch
+// kernel. Results are Float64bits-identical to per-row PredictShard — the
+// batch path amortizes buffers and dispatch, never the arithmetic. Safe on a
+// nil snapshot (returns ErrNotTrained).
+//
+//hslint:hotpath
+func (s *Snapshot) PredictBatch(rows [][]float64, out []float64) error {
+	if s == nil || s.fam == nil {
+		return ErrNotTrained
+	}
+	s.fam.PredictBatch(rows, out)
+	return nil
 }
 
 // PredictApplication predicts whole-application CPI on hw by predicting each
 // constituent shard and aggregating (shards have equal instruction counts,
 // so application CPI is the mean of shard CPIs). "A few inaccurate shard
-// predictions have a small effect on the end-to-end prediction."
+// predictions have a small effect on the end-to-end prediction." The
+// trained check is hoisted out of the per-shard loop and one row buffer is
+// reused across shards.
 func (s *Snapshot) PredictApplication(shards []profile.Characteristics, hw hwspace.Config) (float64, error) {
 	if len(shards) == 0 {
 		return 0, errors.New("core: no shards to predict")
 	}
+	if s == nil || s.fam == nil {
+		return 0, ErrNotTrained
+	}
+	row := make([]float64, NumVars)
 	var sum float64
 	for _, x := range shards {
-		p, err := s.PredictShard(x, hw)
-		if err != nil {
-			return 0, err
-		}
-		sum += p
+		Sample{X: x, HW: hw}.RowInto(row)
+		sum += s.fam.Predict(row)
 	}
 	return sum / float64(len(shards)), nil
 }
@@ -172,9 +202,11 @@ func (s *Snapshot) EvaluateOn(samples []Sample) (regress.Metrics, error) {
 	if m := s.Model(); m != nil {
 		return m.Evaluate(ds), nil
 	}
-	pred := make([]float64, ds.NumRows())
-	for i := range pred {
-		pred[i] = s.fam.Predict(ds.X.Row(i))
+	rows := make([][]float64, ds.NumRows())
+	for i := range rows {
+		rows[i] = ds.X.Row(i)
 	}
+	pred := make([]float64, len(rows))
+	s.fam.PredictBatch(rows, pred)
 	return regress.Assess(pred, ds.Y), nil
 }

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 
 	"hsmodel/internal/family"
 	"hsmodel/internal/genetic"
@@ -66,17 +67,47 @@ func (*Family) Load(payload json.RawMessage, numVars int) (family.Model, error) 
 	return &Model{model: &m}, nil
 }
 
-// Model wraps a fitted spline regression as a family.Model.
+// Model wraps a fitted spline regression as a family.Model. The embedded
+// scratch pool makes both predict forms allocation-free in steady state; it
+// is per-fitted-model, so pooled buffers are always sized for this model.
 type Model struct {
-	model *regress.Model
+	model   *regress.Model
+	scratch sync.Pool // *regress.PredictScratch
 }
 
 // Wrap adapts an already-fitted spline regression (for example one loaded
 // from a pre-family snapshot file) into the family contract.
 func Wrap(m *regress.Model) *Model { return &Model{model: m} }
 
+// getScratch takes a pooled predict scratch (the pool has no New: a cold
+// pool hands out nil and we allocate the one-time scratch here).
+func (m *Model) getScratch() *regress.PredictScratch {
+	if s, ok := m.scratch.Get().(*regress.PredictScratch); ok {
+		return s
+	}
+	return &regress.PredictScratch{}
+}
+
 // Predict implements family.Model.
-func (m *Model) Predict(raw []float64) float64 { return m.model.Predict(raw) }
+//
+//hslint:hotpath
+func (m *Model) Predict(raw []float64) float64 {
+	s := m.getScratch()
+	v := m.model.PredictWith(s, raw)
+	m.scratch.Put(s)
+	return v
+}
+
+// PredictBatch implements family.Model: one fused design expansion per row
+// into the scratch's contiguous buffer, one matrix-vector sweep for the whole
+// batch. Bit-identical to per-row Predict.
+//
+//hslint:hotpath
+func (m *Model) PredictBatch(rows [][]float64, out []float64) {
+	s := m.getScratch()
+	m.model.PredictBatchWith(s, rows, out)
+	m.scratch.Put(s)
+}
 
 // RegressModel exposes the underlying regression for callers that still
 // speak the pre-family API (core.Snapshot.Model, the experiments layer).

@@ -1,0 +1,25 @@
+// Serving-layer misuse: a function promises the zero-allocation hot-path
+// contract with //hslint:hotpath and then allocates anyway. hslint's
+// hotalloc check must catch the broken promise.
+package serve
+
+type predictor struct {
+	row []float64
+}
+
+// PredictBatch claims to be allocation-free but builds its output and grows
+// a scratch slice per call.
+//
+//hslint:hotpath
+func (p *predictor) PredictBatch(rows [][]float64) []float64 {
+	out := make([]float64, len(rows)) // want `make in hotpath predictor.PredictBatch allocates per call`
+	for i, r := range rows {
+		p.row = append(p.row, 0) // want `append in hotpath predictor.PredictBatch can grow on any call`
+		acc := 0.0
+		for _, v := range r {
+			acc += v
+		}
+		out[i] = acc
+	}
+	return out
+}

@@ -44,19 +44,32 @@ func (m *Matrix) Clone() *Matrix {
 
 // MulVec returns m * x.
 func (m *Matrix) MulVec(x []float64) []float64 {
+	y := make([]float64, m.Rows)
+	m.MulVecInto(x, y)
+	return y
+}
+
+// MulVecInto computes m * x into the caller's buffer y (len Rows),
+// allocation-free: one contiguous sweep over the row-major storage. Each
+// row's dot product accumulates in ascending column order, so results are
+// bit-identical to MulVec and to a scalar coefficient walk over the same row.
+//
+//hslint:hotpath
+func (m *Matrix) MulVecInto(x, y []float64) {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
 	}
-	y := make([]float64, m.Rows)
+	if len(y) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVecInto output length %d, want %d", len(y), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
 		y[i] = s
 	}
-	return y
 }
 
 // ErrRankDeficient is returned by solvers when the system has no unique

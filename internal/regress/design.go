@@ -127,29 +127,38 @@ func columnsFor(spec Spec, names []string) []Column {
 	return cols
 }
 
-// fillDesignRow expands one raw observation into the design row for spec.
-// row must have length equal to the number of design columns.
-func (p *Prep) fillDesignRow(spec Spec, raw []float64, row []float64) {
+// fillDesignRow expands one raw observation into the design row for spec in a
+// single fused pass per variable: the stabilized, standardized value z is
+// computed once per included variable (into the caller's z scratch, length
+// NumVars) and every polynomial and truncated-power spline basis derives from
+// that one value. Interaction columns read the cached z of included variables
+// and compute it only for excluded ones. z is a pure function of (variable,
+// raw value), so the caching is bit-identical to recomputation. row must have
+// length equal to the number of design columns.
+//
+//hslint:hotpath
+func (p *Prep) fillDesignRow(spec Spec, raw, z, row []float64) {
 	row[0] = 1
 	c := 1
 	for v, code := range spec.Codes {
 		if code == Excluded {
 			continue
 		}
-		z := p.z(v, raw[v])
-		row[c] = z
+		zv := p.z(v, raw[v])
+		z[v] = zv
+		row[c] = zv
 		c++
 		if code >= Quadratic {
-			row[c] = z * z
+			row[c] = zv * zv
 			c++
 		}
 		if code >= Cubic {
-			row[c] = z * z * z
+			row[c] = zv * zv * zv
 			c++
 		}
 		if code == Spline3 {
 			for _, k := range p.Knots[v] {
-				d := z - k
+				d := zv - k
 				if d < 0 {
 					d = 0
 				}
@@ -159,7 +168,15 @@ func (p *Prep) fillDesignRow(spec Spec, raw []float64, row []float64) {
 		}
 	}
 	for _, in := range spec.Interactions {
-		row[c] = p.z(in.I, raw[in.I]) * p.z(in.J, raw[in.J])
+		zi := z[in.I]
+		if spec.Codes[in.I] == Excluded {
+			zi = p.z(in.I, raw[in.I])
+		}
+		zj := z[in.J]
+		if spec.Codes[in.J] == Excluded {
+			zj = p.z(in.J, raw[in.J])
+		}
+		row[c] = zi * zj
 		c++
 	}
 }
@@ -168,8 +185,9 @@ func (p *Prep) fillDesignRow(spec Spec, raw []float64, row []float64) {
 func (p *Prep) Design(spec Spec, ds *Dataset) (*linalg.Matrix, []Column) {
 	cols := columnsFor(spec, p.Names)
 	m := linalg.NewMatrix(ds.NumRows(), len(cols))
+	z := make([]float64, p.NumVars())
 	for i := 0; i < ds.NumRows(); i++ {
-		p.fillDesignRow(spec, ds.X.Row(i), m.Row(i))
+		p.fillDesignRow(spec, ds.X.Row(i), z, m.Row(i))
 	}
 	return m, cols
 }

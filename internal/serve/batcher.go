@@ -1,16 +1,22 @@
-// Request coalescing: concurrent single-shard predictions are gathered off a
-// bounded queue into one pass over the served snapshot (Concorde-style
-// micro-batching, arXiv:2503.23076). One worker drains the queue; each flush
-// loads the snapshot exactly once, so every prediction in a batch is
-// answered by the same model version, and the per-prediction result is
+// Request coalescing: concurrent predictions are gathered off bounded queues
+// into batched passes over the served snapshot (Concorde-style
+// micro-batching, arXiv:2503.23076). The batcher is sharded per CPU: N
+// workers drain N independent bounded queues, submitters pick a shard by a
+// cheap round-robin counter and work-steal onto a sibling queue before
+// shedding, and jobs (with their done channels) are pooled so a steady-state
+// prediction allocates nothing. Each flush loads the snapshot exactly once
+// and answers the whole batch through Snapshot.PredictBatch, so every
+// prediction in a batch is answered by the same model version and is
 // bit-identical to a direct Snapshot.PredictShard call — the batcher only
-// amortizes queueing and snapshot loads, it never changes the arithmetic.
+// amortizes queueing, allocation, and snapshot loads, it never changes the
+// arithmetic.
 package serve
 
 import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hsmodel/internal/core"
@@ -21,36 +27,84 @@ import (
 // ErrClosed is returned to predictions submitted after shutdown began.
 var ErrClosed = errors.New("serve: server is shutting down")
 
-// ErrOverloaded is returned when the prediction queue is full: the server
+// ErrOverloaded is returned when every shard's queue is full: the server
 // sheds the request immediately (HTTP 429 upstream) instead of stacking
-// blocked submitters behind a worker that is already saturated.
+// blocked submitters behind workers that are already saturated.
 var ErrOverloaded = errors.New("serve: prediction queue full")
 
-type predictResult struct {
-	cpi float64
-	err error
-}
-
+// predictJob is one submission: either a single shard prediction (using the
+// inline one-element storage, so the pooled job is self-contained) or a whole
+// client batch sharing one queue round trip. The worker fills out[i] for
+// every item, sets err, and signals done exactly once; done is buffered so an
+// abandoned (ctx-cancelled) job never blocks the worker.
 type predictJob struct {
-	x    profile.Characteristics
-	hw   hwspace.Config
-	done chan predictResult // buffered(1): the worker never blocks on delivery
+	xs  []profile.Characteristics
+	hws []hwspace.Config
+	out []float64
+	err error
+
+	done chan struct{} // buffered(1), reused across pool recycles
+
+	// Inline storage backing single-prediction jobs.
+	x1  [1]profile.Characteristics
+	hw1 [1]hwspace.Config
+	o1  [1]float64
 }
 
-// batcher owns the bounded queue and the single gather/flush worker.
-//
-// Shutdown protocol (the "lose zero in-flight requests" guarantee): Close
-// marks the batcher closed so new predictions are rejected with ErrClosed,
-// waits for submitters already past the closed-check to finish enqueueing,
-// then closes the queue; the worker drains every queued job — each gets a
-// real prediction — before exiting.
-type batcher struct {
-	queue    chan *predictJob
+// batcherConfig carries the construction parameters of a batcher.
+type batcherConfig struct {
+	// shards is the number of independent queue+worker pairs (default 1).
+	shards int
+	// maxBatch caps the jobs gathered into one flush (default 32).
 	maxBatch int
-	maxWait  time.Duration
-	snap     func() *core.Snapshot
-	observe  func(batchSize int)
-	onShed   func()
+	// maxWait is the gather window after the first job of a flush arrives
+	// (default 2ms).
+	maxWait time.Duration
+	// queueDepth bounds each shard's queue (default 4*maxBatch).
+	queueDepth int
+	// snap loads the served snapshot (required).
+	snap func() *core.Snapshot
+	// observe, when non-nil, receives each flush's item count.
+	observe func(batchSize int)
+	// onShed, when non-nil, fires once per shed submission.
+	onShed func()
+}
+
+func (c batcherConfig) withDefaults() batcherConfig {
+	if c.shards <= 0 {
+		c.shards = 1
+	}
+	if c.maxBatch <= 0 {
+		c.maxBatch = 32
+	}
+	if c.maxWait <= 0 {
+		c.maxWait = 2 * time.Millisecond
+	}
+	if c.queueDepth <= 0 {
+		c.queueDepth = 4 * c.maxBatch
+	}
+	return c
+}
+
+// batcher owns the sharded queues and their gather/flush workers.
+//
+// Shutdown protocol (the "lose zero in-flight requests" guarantee), applied
+// independently per shard: Close marks every shard closed so new predictions
+// are rejected with ErrClosed, waits for submitters already past the
+// closed-check to finish enqueueing, then closes each queue; every worker
+// drains every queued job — each gets a real prediction — before exiting.
+type batcher struct {
+	cfg    batcherConfig
+	shards []*batchShard
+	rr     atomic.Uint64 // round-robin shard pick
+	jobs   sync.Pool     // *predictJob
+}
+
+// batchShard is one queue + worker pair with its own drain accounting and
+// worker-owned flush buffers (touched only by the worker goroutine).
+type batchShard struct {
+	b     *batcher
+	queue chan *predictJob
 
 	mu          sync.Mutex
 	closed      bool
@@ -58,134 +112,336 @@ type batcher struct {
 	queueClosed bool // the queue channel has been closed
 
 	workerDone chan struct{}
+
+	// Flush state, preallocated to the shard's high-water marks.
+	batch  []*predictJob // gathered jobs, cap maxBatch
+	nbatch int
+	rowBuf []float64       // contiguous backing for rows
+	rows   [][]float64     // chunk of expanded raw rows
+	out    []float64       // chunk predictions
+	dstJob []*predictJob   // chunk scatter targets
+	dstIdx []int           // item index within the target job
+	timer  *time.Timer     // gather-window timer, reused across flushes
 }
 
-func newBatcher(snap func() *core.Snapshot, maxBatch int, maxWait time.Duration, queueDepth int, observe func(int), onShed func()) *batcher {
-	if maxBatch <= 0 {
-		maxBatch = 32
+// flushChunk is the row-buffer capacity of one sweep: large enough that a
+// flush of single-prediction jobs is answered in one PredictBatch call, and
+// a flush of client batches sweeps in well-amortized pieces.
+const minFlushChunk = 128
+
+func newBatcher(cfg batcherConfig) *batcher {
+	cfg = cfg.withDefaults()
+	b := &batcher{cfg: cfg, shards: make([]*batchShard, cfg.shards)}
+	chunk := cfg.maxBatch
+	if chunk < minFlushChunk {
+		chunk = minFlushChunk
 	}
-	if maxWait <= 0 {
-		maxWait = 2 * time.Millisecond
+	for i := range b.shards {
+		sh := &batchShard{
+			b:          b,
+			queue:      make(chan *predictJob, cfg.queueDepth),
+			workerDone: make(chan struct{}),
+			batch:      make([]*predictJob, cfg.maxBatch),
+			rowBuf:     make([]float64, chunk*core.NumVars),
+			rows:       make([][]float64, chunk),
+			out:        make([]float64, chunk),
+			dstJob:     make([]*predictJob, chunk),
+			dstIdx:     make([]int, chunk),
+		}
+		for r := range sh.rows {
+			sh.rows[r] = sh.rowBuf[r*core.NumVars : (r+1)*core.NumVars]
+		}
+		b.shards[i] = sh
+		go sh.run()
 	}
-	if queueDepth <= 0 {
-		queueDepth = 4 * maxBatch
-	}
-	b := &batcher{
-		queue:      make(chan *predictJob, queueDepth),
-		maxBatch:   maxBatch,
-		maxWait:    maxWait,
-		snap:       snap,
-		observe:    observe,
-		onShed:     onShed,
-		workerDone: make(chan struct{}),
-	}
-	go b.run()
 	return b
 }
 
+// getJob takes a pooled job (allocating only while the pool warms up).
+func (b *batcher) getJob() *predictJob {
+	if j, ok := b.jobs.Get().(*predictJob); ok {
+		return j
+	}
+	return &predictJob{done: make(chan struct{}, 1)}
+}
+
+// putJob recycles an answered job. Only jobs whose done signal has been
+// received may be recycled: a ctx-cancelled submitter abandons its job to the
+// GC instead, because the worker may still be writing to it.
+func (b *batcher) putJob(j *predictJob) {
+	j.xs, j.hws, j.out, j.err = nil, nil, nil, nil
+	b.jobs.Put(j)
+}
+
 // predict submits one shard prediction and waits for its result. A request
-// that was accepted into the queue always receives a result (even during
-// shutdown); ctx cancellation abandons the wait but the buffered done
-// channel means the worker never blocks on an abandoned job. A full queue
-// sheds the request with ErrOverloaded instead of blocking: under overload
-// the queue is a pressure gauge, not a waiting room — stacked submitters
-// would only add latency to requests the worker cannot reach anyway.
+// that was accepted into a queue always receives a result (even during
+// shutdown); ctx cancellation abandons the wait but the buffered done channel
+// means the worker never blocks on an abandoned job. When every shard's queue
+// is full the request is shed with ErrOverloaded instead of blocking: under
+// overload the queues are a pressure gauge, not a waiting room.
 func (b *batcher) predict(ctx context.Context, x profile.Characteristics, hw hwspace.Config) (float64, error) {
-	job := &predictJob{x: x, hw: hw, done: make(chan predictResult, 1)}
-
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return 0, ErrClosed
+	job := b.getJob()
+	job.x1[0], job.hw1[0] = x, hw
+	job.xs, job.hws, job.out = job.x1[:1], job.hw1[:1], job.o1[:1]
+	if err := b.submit(job); err != nil {
+		return 0, err
 	}
-	b.inflight++
-	b.mu.Unlock()
-
 	select {
-	case b.queue <- job:
-		b.exitSubmit()
-	default:
-		b.exitSubmit()
-		if b.onShed != nil {
-			b.onShed()
-		}
-		return 0, ErrOverloaded
-	}
-
-	select {
-	case r := <-job.done:
-		return r.cpi, r.err
+	case <-job.done:
+		cpi, err := job.o1[0], job.err
+		b.putJob(job)
+		return cpi, err
 	case <-ctx.Done():
 		return 0, ctx.Err()
 	}
 }
 
-// exitSubmit ends a submission critical section, completing a pending Close
-// once the last submitter is out.
-func (b *batcher) exitSubmit() {
-	b.mu.Lock()
-	b.inflight--
-	if b.closed && b.inflight == 0 && !b.queueClosed {
-		b.queueClosed = true
-		close(b.queue)
+// predictMany submits a whole client batch as one job — one queue round trip
+// for len(xs) predictions — and waits for it. out[i] answers (xs[i], hws[i]);
+// len(hws) and len(out) must be at least len(xs). On a ctx error the worker
+// may still write into out, so the caller must discard the buffer (the serve
+// handlers allocate it per request).
+func (b *batcher) predictMany(ctx context.Context, xs []profile.Characteristics, hws []hwspace.Config, out []float64) error {
+	if len(xs) == 0 {
+		return nil
 	}
-	b.mu.Unlock()
+	job := b.getJob()
+	job.xs, job.hws, job.out = xs, hws, out
+	if err := b.submit(job); err != nil {
+		return err
+	}
+	select {
+	case <-job.done:
+		err := job.err
+		b.putJob(job)
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
-// Close drains the batcher: it rejects new submissions, lets in-flight ones
-// enqueue, answers everything queued, and returns once the worker has
-// exited. Safe to call more than once.
-func (b *batcher) Close() {
-	b.mu.Lock()
-	if !b.closed {
-		b.closed = true
-		if b.inflight == 0 && !b.queueClosed {
-			b.queueClosed = true
-			close(b.queue)
+// submit enqueues a job: the round-robin home shard first, then every
+// sibling (work-stealing a slot on a less loaded queue), shedding only when
+// all queues are full. On error the job has not been enqueued and is
+// recycled here.
+func (b *batcher) submit(job *predictJob) error {
+	start := b.rr.Add(1)
+	n := uint64(len(b.shards))
+	for k := uint64(0); k < n; k++ {
+		sh := b.shards[(start+k)%n]
+		open, accepted := sh.trySubmit(job)
+		if !open {
+			b.putJob(job)
+			return ErrClosed
+		}
+		if accepted {
+			return nil
 		}
 	}
-	b.mu.Unlock()
-	<-b.workerDone
+	b.putJob(job)
+	if b.cfg.onShed != nil {
+		b.cfg.onShed()
+	}
+	return ErrOverloaded
 }
 
-// run is the worker: take one job, gather more up to maxBatch/maxWait, then
-// answer the whole batch against a single snapshot load.
-func (b *batcher) run() {
-	defer close(b.workerDone)
+// trySubmit attempts a non-blocking enqueue under the shard's drain
+// accounting. open is false once the shard is closed to new submissions.
+func (sh *batchShard) trySubmit(job *predictJob) (open, accepted bool) {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return false, false
+	}
+	sh.inflight++
+	sh.mu.Unlock()
+
+	select {
+	case sh.queue <- job:
+		sh.exitSubmit()
+		return true, true
+	default:
+		sh.exitSubmit()
+		return true, false
+	}
+}
+
+// exitSubmit ends a submission critical section, completing a pending Close
+// once the last submitter is out.
+func (sh *batchShard) exitSubmit() {
+	sh.mu.Lock()
+	sh.inflight--
+	if sh.closed && sh.inflight == 0 && !sh.queueClosed {
+		sh.queueClosed = true
+		close(sh.queue)
+	}
+	sh.mu.Unlock()
+}
+
+// queued reports the total jobs sitting in the shard queues (tests only).
+func (b *batcher) queued() int {
+	total := 0
+	for _, sh := range b.shards {
+		total += len(sh.queue)
+	}
+	return total
+}
+
+// Close drains the batcher: it rejects new submissions on every shard, lets
+// in-flight ones enqueue, answers everything queued, and returns once every
+// worker has exited. Safe to call more than once.
+func (b *batcher) Close() {
+	for _, sh := range b.shards {
+		sh.close()
+	}
+	for _, sh := range b.shards { //hslint:ignore ctxflow the shutdown drain is bounded by the shard count and must run to completion
+		<-sh.workerDone
+	}
+}
+
+func (sh *batchShard) close() {
+	sh.mu.Lock()
+	if !sh.closed {
+		sh.closed = true
+		if sh.inflight == 0 && !sh.queueClosed {
+			sh.queueClosed = true
+			close(sh.queue)
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// run is the shard worker: take one job, gather more up to maxBatch/maxWait,
+// then answer the whole batch against a single snapshot load. Everything on
+// this loop reuses the shard's preallocated buffers.
+//
+//hslint:hotpath
+func (sh *batchShard) run() {
+	defer close(sh.workerDone)
 	for {
-		job, ok := <-b.queue
+		job, ok := <-sh.queue
 		if !ok {
 			return
 		}
-		batch := b.gather(job)
-		snap := b.snap()
-		for _, j := range batch {
-			cpi, err := snap.PredictShard(j.x, j.hw)
-			j.done <- predictResult{cpi, err}
+		sh.batch[0] = job
+		sh.nbatch = 1
+		sh.gather()
+		sh.flush(sh.b.cfg.snap())
+	}
+}
+
+// gather collects follow-on jobs for the current flush until the batch is
+// full, the wait window expires, or the queue closes. Jobs already queued are
+// taken without arming the timer, so a saturated shard never touches it.
+//
+//hslint:hotpath
+func (sh *batchShard) gather() {
+	for sh.nbatch < len(sh.batch) {
+		select {
+		case j, ok := <-sh.queue:
+			if !ok {
+				return
+			}
+			sh.batch[sh.nbatch] = j
+			sh.nbatch++
+			continue
+		default:
 		}
-		if b.observe != nil {
-			b.observe(len(batch))
+		break
+	}
+	if sh.nbatch >= len(sh.batch) {
+		return
+	}
+	sh.armTimer()
+	for sh.nbatch < len(sh.batch) {
+		select {
+		case j, ok := <-sh.queue:
+			if !ok {
+				return
+			}
+			sh.batch[sh.nbatch] = j
+			sh.nbatch++
+		case <-sh.timer.C:
+			return
 		}
 	}
 }
 
-// gather collects follow-on jobs for first's batch until the batch is full,
-// the wait window expires, or the queue closes.
-func (b *batcher) gather(first *predictJob) []*predictJob {
-	batch := make([]*predictJob, 1, b.maxBatch)
-	batch[0] = first
-	timer := time.NewTimer(b.maxWait)
-	defer timer.Stop()
-	for len(batch) < b.maxBatch {
+// armTimer starts (or re-arms) the reused gather-window timer. A fire racing
+// the Stop/drain below can leave a stale tick in the channel; the only
+// consequence is one premature — smaller, still correct — flush.
+func (sh *batchShard) armTimer() {
+	if sh.timer == nil {
+		sh.timer = time.NewTimer(sh.b.cfg.maxWait)
+		return
+	}
+	if !sh.timer.Stop() {
 		select {
-		case j, ok := <-b.queue:
-			if !ok {
-				return batch
-			}
-			batch = append(batch, j)
-		case <-timer.C:
-			return batch
+		case <-sh.timer.C:
+		default:
 		}
 	}
-	return batch
+	sh.timer.Reset(sh.b.cfg.maxWait)
+}
+
+// flush answers the gathered batch: every item of every job is expanded into
+// the shard's contiguous row buffer and answered through one
+// Snapshot.PredictBatch sweep per chunk, then each job is signalled exactly
+// once. The untrained check happens once per flush — item results are
+// bit-identical to per-call Snapshot.PredictShard either way.
+//
+//hslint:hotpath
+func (sh *batchShard) flush(snap *core.Snapshot) {
+	batch := sh.batch[:sh.nbatch]
+	items := 0
+	if !snap.Trained() {
+		for _, j := range batch {
+			items += len(j.xs)
+			j.err = core.ErrNotTrained
+			j.done <- struct{}{}
+		}
+		sh.observe(items)
+		return
+	}
+	pos := 0
+	for _, j := range batch {
+		j.err = nil
+		for i := range j.xs {
+			core.Sample{X: j.xs[i], HW: j.hws[i]}.RowInto(sh.rows[pos])
+			sh.dstJob[pos] = j
+			sh.dstIdx[pos] = i
+			pos++
+			if pos == len(sh.rows) {
+				sh.sweep(snap, pos)
+				items += pos
+				pos = 0
+			}
+		}
+	}
+	if pos > 0 {
+		sh.sweep(snap, pos)
+		items += pos
+	}
+	for _, j := range batch {
+		j.done <- struct{}{}
+	}
+	sh.observe(items)
+}
+
+// sweep answers rows[:n] in one batched snapshot pass and scatters the
+// results into their jobs' output slots.
+//
+//hslint:hotpath
+func (sh *batchShard) sweep(snap *core.Snapshot, n int) {
+	// Trained was checked by flush; PredictBatch cannot fail here.
+	_ = snap.PredictBatch(sh.rows[:n], sh.out[:n])
+	for t := 0; t < n; t++ {
+		sh.dstJob[t].out[sh.dstIdx[t]] = sh.out[t]
+	}
+}
+
+func (sh *batchShard) observe(items int) {
+	if sh.b.cfg.observe != nil {
+		sh.b.cfg.observe(items)
+	}
 }

@@ -19,11 +19,18 @@ func TestBatcherRespectsMaxBatch(t *testing.T) {
 
 	var sizes []int
 	var mu sync.Mutex
-	b := newBatcher(tr.Snapshot, 4, 5*time.Millisecond, 64, func(n int) {
-		mu.Lock()
-		sizes = append(sizes, n)
-		mu.Unlock()
-	}, nil)
+	b := newBatcher(batcherConfig{
+		shards:     1,
+		maxBatch:   4,
+		maxWait:    5 * time.Millisecond,
+		queueDepth: 64,
+		snap:       tr.Snapshot,
+		observe: func(n int) {
+			mu.Lock()
+			sizes = append(sizes, n)
+			mu.Unlock()
+		},
+	})
 	defer b.Close()
 
 	const n = 40
@@ -64,7 +71,7 @@ func TestBatcherRespectsMaxBatch(t *testing.T) {
 func TestBatcherContextCancel(t *testing.T) {
 	tr := newTestTrainer(t)
 	_, valid := testData(t)
-	b := newBatcher(tr.Snapshot, 8, time.Millisecond, 8, nil, nil)
+	b := newBatcher(batcherConfig{maxBatch: 8, maxWait: time.Millisecond, queueDepth: 8, snap: tr.Snapshot})
 	defer b.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -82,7 +89,7 @@ func TestBatcherContextCancel(t *testing.T) {
 func TestBatcherUntrained(t *testing.T) {
 	tr := core.NewTrainer(nil)
 	_, valid := testData(t)
-	b := newBatcher(tr.Snapshot, 8, time.Millisecond, 8, nil, nil)
+	b := newBatcher(batcherConfig{maxBatch: 8, maxWait: time.Millisecond, queueDepth: 8, snap: tr.Snapshot})
 	defer b.Close()
 	if _, err := b.predict(context.Background(), valid[0].X, valid[0].HW); !errors.Is(err, core.ErrNotTrained) {
 		t.Fatalf("err = %v, want ErrNotTrained", err)
@@ -92,7 +99,7 @@ func TestBatcherUntrained(t *testing.T) {
 // TestBatcherDoubleClose must be idempotent.
 func TestBatcherDoubleClose(t *testing.T) {
 	tr := core.NewTrainer(nil)
-	b := newBatcher(tr.Snapshot, 8, time.Millisecond, 8, nil, nil)
+	b := newBatcher(batcherConfig{maxBatch: 8, maxWait: time.Millisecond, queueDepth: 8, snap: tr.Snapshot})
 	b.Close()
 	b.Close()
 }

@@ -122,6 +122,37 @@ func TestPredictBitIdenticalToSnapshot(t *testing.T) {
 			t.Errorf("sample %d: shards = %d, want 1", i, pr.Shards)
 		}
 	}
+
+	// The batch path — every item rides one multi-item batcher job answered
+	// through contiguous PredictBatch sweeps — must be bit-identical too.
+	var batchReq hsmodel.BatchPredictRequest
+	for _, v := range valid {
+		hw := v.HW
+		batchReq.Requests = append(batchReq.Requests, hsmodel.PredictRequest{X: v.X[:], Config: &hw})
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/predict:batch", batchReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var br hsmodel.BatchPredictResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(valid) {
+		t.Fatalf("batch returned %d results, want %d", len(br.Results), len(valid))
+	}
+	for i, v := range valid {
+		want, err := snap.PredictShard(v.X, v.HW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Results[i].Error != "" {
+			t.Fatalf("batch item %d: %s", i, br.Results[i].Error)
+		}
+		if math.Float64bits(br.Results[i].CPI) != math.Float64bits(want) {
+			t.Fatalf("batch item %d: HTTP prediction %v != snapshot prediction %v", i, br.Results[i].CPI, want)
+		}
+	}
 }
 
 func TestPredictApplicationAndArch(t *testing.T) {
@@ -316,7 +347,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	// batcher (queued or already answered), then race the remaining
 	// submissions against the drain. The gather worker consumes enqueued
 	// jobs immediately, so an empty queue alone does not mean idle.
-	for deadline := time.Now().Add(5 * time.Second); len(s.batcher.queue) == 0 && answered.Load() == 0; {
+	for deadline := time.Now().Add(5 * time.Second); s.batcher.queued() == 0 && answered.Load() == 0; {
 		if time.Now().After(deadline) {
 			t.Fatal("no request ever reached the batcher")
 		}

@@ -28,12 +28,15 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hsmodel/internal/core"
+	"hsmodel/internal/hwspace"
 	"hsmodel/internal/lifecycle"
+	"hsmodel/internal/profile"
 	"hsmodel/pkg/hsmodel"
 )
 
@@ -50,9 +53,14 @@ type Config struct {
 	// MaxWait is how long the batcher waits to fill a batch after the first
 	// request arrives (default 2ms).
 	MaxWait time.Duration
-	// QueueDepth bounds the submit queue (default 4*MaxBatch). A full queue
-	// sheds: the request is answered 429 with a Retry-After hint instead of
-	// blocking behind a saturated worker.
+	// Shards is the number of independent batcher queue+worker pairs
+	// (default GOMAXPROCS). Submitters spread across shards with a cheap
+	// round-robin counter and steal a slot on a sibling queue before
+	// shedding, so queue contention stays flat as cores are added.
+	Shards int
+	// QueueDepth bounds each shard's submit queue (default 4*MaxBatch). When
+	// every shard's queue is full the request is shed: answered 429 with a
+	// Retry-After hint instead of blocking behind saturated workers.
 	QueueDepth int
 	// RequestTimeout bounds each request's context (default 5s).
 	RequestTimeout time.Duration
@@ -77,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWait <= 0 {
 		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.MaxBatch
@@ -126,8 +137,15 @@ func New(cfg Config) (*Server, error) {
 		metrics:   newMetrics(),
 		snapSince: time.Now(),
 	}
-	s.batcher = newBatcher(s.trainer.Snapshot, cfg.MaxBatch, cfg.MaxWait, cfg.QueueDepth,
-		s.metrics.observeBatch, func() { s.metrics.shedsTotal.Add(1) })
+	s.batcher = newBatcher(batcherConfig{
+		shards:     cfg.Shards,
+		maxBatch:   cfg.MaxBatch,
+		maxWait:    cfg.MaxWait,
+		queueDepth: cfg.QueueDepth,
+		snap:       s.trainer.Snapshot,
+		observe:    s.metrics.observeBatch,
+		onShed:     func() { s.metrics.shedsTotal.Add(1) },
+	})
 	if cfg.Lifecycle != nil {
 		s.lifecycle = lifecycle.NewController(cfg.Trainer, *cfg.Lifecycle)
 	}
@@ -254,6 +272,22 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
+// Predict answers one shard prediction through the micro-batcher — the
+// in-process form of POST /v1/predict, used by cmd/hsload to benchmark the
+// serving path without HTTP overhead.
+func (s *Server) Predict(ctx context.Context, x profile.Characteristics, hw hwspace.Config) (float64, error) {
+	return s.batcher.predict(ctx, x, hw)
+}
+
+// PredictMany answers a whole batch as one batcher submission: out[i]
+// answers (xs[i], hws[i]); len(hws) and len(out) must be at least len(xs).
+// One queue round trip covers the entire batch, and the worker answers it
+// through contiguous Snapshot.PredictBatch sweeps — the in-process form of
+// POST /v1/predict:batch. On a ctx error the out buffer must be discarded.
+func (s *Server) PredictMany(ctx context.Context, xs []profile.Characteristics, hws []hwspace.Config, out []float64) error {
+	return s.batcher.predictMany(ctx, xs, hws, out)
+}
+
 // predictOne answers one wire PredictRequest: single shards go through the
 // micro-batcher; whole-application queries aggregate over one snapshot load.
 func (s *Server) predictOne(ctx context.Context, req hsmodel.PredictRequest) (hsmodel.PredictResponse, error) {
@@ -299,23 +333,46 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errors.New("serve: batch request has no items"))
 		return
 	}
-	// Submit every item concurrently so the micro-batcher can coalesce them
-	// (and items from other in-flight HTTP requests) into shared passes.
+	// Single-shard items ride the batcher as ONE multi-item job — one queue
+	// round trip for the whole request, answered in shared PredictBatch
+	// sweeps (alongside items coalesced from other in-flight HTTP requests).
+	// Whole-application items aggregate over one snapshot load, as in
+	// predictOne.
 	results := make([]hsmodel.BatchPredictItem, len(req.Requests))
-	var wg sync.WaitGroup
+	xs := make([]profile.Characteristics, 0, len(req.Requests))
+	hws := make([]hwspace.Config, 0, len(req.Requests))
+	idx := make([]int, 0, len(req.Requests))
 	for i, pr := range req.Requests {
-		wg.Add(1)
-		go func(i int, pr hsmodel.PredictRequest) {
-			defer wg.Done()
-			resp, err := s.predictOne(r.Context(), pr)
-			if err != nil {
-				results[i] = hsmodel.BatchPredictItem{Error: err.Error()}
-				return
-			}
-			results[i] = hsmodel.BatchPredictItem{CPI: resp.CPI, Shards: resp.Shards}
-		}(i, pr)
+		shardXs, hw, err := pr.ShardInputs()
+		if err != nil {
+			results[i] = hsmodel.BatchPredictItem{Error: err.Error()}
+			continue
+		}
+		if len(shardXs) == 1 && len(pr.Shards) == 0 {
+			xs = append(xs, shardXs[0])
+			hws = append(hws, hw)
+			idx = append(idx, i)
+			continue
+		}
+		cpi, err := s.trainer.Snapshot().PredictApplication(shardXs, hw)
+		if err != nil {
+			results[i] = hsmodel.BatchPredictItem{Error: err.Error()}
+			continue
+		}
+		results[i] = hsmodel.BatchPredictItem{CPI: cpi, Shards: len(shardXs)}
 	}
-	wg.Wait()
+	if len(xs) > 0 {
+		out := make([]float64, len(xs))
+		if err := s.batcher.predictMany(r.Context(), xs, hws, out); err != nil {
+			for _, i := range idx {
+				results[i] = hsmodel.BatchPredictItem{Error: err.Error()}
+			}
+		} else {
+			for k, i := range idx {
+				results[i] = hsmodel.BatchPredictItem{CPI: out[k], Shards: 1}
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, hsmodel.BatchPredictResponse{Results: results})
 }
 

@@ -30,7 +30,14 @@ func TestBatcherShedsOnFullQueue(t *testing.T) {
 		<-gate
 		return tr.Snapshot()
 	}
-	b := newBatcher(snap, 1, time.Millisecond, 1, nil, func() { sheds.Add(1) })
+	b := newBatcher(batcherConfig{
+		shards:     1,
+		maxBatch:   1,
+		maxWait:    time.Millisecond,
+		queueDepth: 1,
+		snap:       snap,
+		onShed:     func() { sheds.Add(1) },
+	})
 	defer b.Close()
 
 	// First job: the worker takes it off the queue, gathers (maxBatch 1),
@@ -49,7 +56,7 @@ func TestBatcherShedsOnFullQueue(t *testing.T) {
 		second <- err
 	}()
 	deadline := time.Now().Add(5 * time.Second)
-	for len(b.queue) == 0 {
+	for b.queued() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("second job never enqueued")
 		}
