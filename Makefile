@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint bench-smoke serve-smoke serve-bench families-smoke ci
+.PHONY: build vet test race lint bench-smoke serve-smoke serve-bench families-smoke registry-smoke ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,16 @@ serve-bench:
 	./hsload -addr http://127.0.0.1:18808 -duration 3s -conc 8 -out BENCH_pr8.json; RC=$$?; \
 	kill $$SRV; wait $$SRV 2>/dev/null; exit $$RC
 
+# registry-smoke boots hsserve with a three-entry model manifest (two
+# application-scoped entries plus a wildcard) next to the default, fans one
+# sample stream through /v1/samples verifying each entry's store advances by
+# exactly its matching share, trains every manifest entry through its
+# model-addressed /v2 samples route, pins v1<->v2 predict bit-identity on the
+# default, exercises register/unregister with manifest persistence, and
+# checks the per-model metrics series. Exits non-zero on any mismatch.
+registry-smoke:
+	$(GO) run ./cmd/hsserve -registrycheck
+
 # families-smoke runs the model-family selection harness end to end on the
 # spmv domain corpus: all three built-in families (spline, residual, dal)
 # must fit, selection must complete with a full scoreboard, and the chosen
@@ -64,5 +74,5 @@ families-smoke:
 # hslint invariant checks), plain tests, then the race detector over the
 # whole tree (the parallel fitness pool, the lock-free snapshot swaps, and
 # the fault-injection schedules are the usual suspects), and finally the
-# end-to-end serving and family-selection smoke tests.
-ci: build vet lint test race serve-smoke families-smoke
+# end-to-end serving, registry, and family-selection smoke tests.
+ci: build vet lint test race serve-smoke registry-smoke families-smoke

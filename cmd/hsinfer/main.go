@@ -11,6 +11,13 @@
 // predict -json and model -json emit the same wire schema the hsserve HTTP
 // service speaks (PredictResponse, ModelInfo, ErrorResponse), so scripted
 // consumers can switch between the CLI and the service without reparsing.
+// With -addr, predict and model drive a live hsserve instead of a local
+// snapshot file — the legacy /v1 routes by default, or one entry of the
+// multi-model registry when -model-id names it (an exact id or the
+// "app:<name>" consistent-hash alias):
+//
+//	hsinfer predict -addr http://localhost:8080 -app astar -shard 3
+//	hsinfer model   -addr http://localhost:8080 -model-id app:bzip2
 package main
 
 import (
@@ -190,14 +197,17 @@ func parseArch(arch string) (hsmodel.Config, error) {
 func cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	modelPath := fs.String("model", "model.json", "trained model path")
+	addr := fs.String("addr", "", "ask a live hsserve at this base URL instead of loading -model")
+	modelID := fs.String("model-id", "", "with -addr: the registry entry to address over /v2 (exact id or app:<name>; empty = the /v1 default)")
 	appName := fs.String("app", "astar", "application name")
 	shard := fs.Int("shard", 0, "shard index")
+	shardLen := fs.Int("shardlen", hsmodel.DefaultShardLen, "with -addr: shard length in instructions (local mode uses the model's)")
 	arch := fs.String("arch", "", "13 comma-separated Table 2 level indices (default: baseline)")
 	check := fs.Bool("check", true, "also simulate the pair and report error")
 	asJSON := fs.Bool("json", false, "emit the wire-schema PredictResponse (errors as ErrorResponse)")
 	fs.Parse(args)
 
-	err := predict(*modelPath, *appName, *shard, *arch, *check, *asJSON)
+	err := predict(*modelPath, *addr, *modelID, *appName, *shard, *shardLen, *arch, *check, *asJSON)
 	if err != nil && *asJSON {
 		json.NewEncoder(os.Stdout).Encode(hsmodel.ErrorResponse{Error: err.Error()})
 		os.Exit(1)
@@ -205,12 +215,16 @@ func cmdPredict(args []string) error {
 	return err
 }
 
-func predict(modelPath, appName string, shard int, arch string, check, asJSON bool) error {
-	snap, err := hsmodel.LoadSnapshot(modelPath)
-	if err != nil {
-		return err
+func predict(modelPath, addr, modelID, appName string, shard, shardLen int, arch string, check, asJSON bool) error {
+	var snap *hsmodel.Snapshot
+	if addr == "" {
+		var err error
+		snap, err = hsmodel.LoadSnapshot(modelPath)
+		if err != nil {
+			return err
+		}
+		shardLen = snap.ShardLen()
 	}
-	shardLen := snap.ShardLen()
 
 	app, err := trace.ByName(appName)
 	if err != nil {
@@ -222,7 +236,15 @@ func predict(modelPath, appName string, shard int, arch string, check, asJSON bo
 	}
 
 	p := profile.Stream(app.ShardStream(shard, shardLen), app.Name, shard)
-	pred, err := snap.PredictShard(p.X, hw)
+	var pred float64
+	if addr == "" {
+		pred, err = snap.PredictShard(p.X, hw)
+	} else {
+		client := hsmodel.NewClient(addr, hsmodel.WithModelID(modelID))
+		var resp hsmodel.PredictResponse
+		resp, err = client.Predict(context.Background(), hsmodel.PredictRequest{X: p.X[:], Config: &hw})
+		pred = resp.CPI
+	}
 	if err != nil {
 		return err
 	}
@@ -243,10 +265,12 @@ func predict(modelPath, appName string, shard int, arch string, check, asJSON bo
 func cmdModel(args []string) error {
 	fs := flag.NewFlagSet("model", flag.ExitOnError)
 	modelPath := fs.String("model", "model.json", "trained model path")
+	addr := fs.String("addr", "", "ask a live hsserve at this base URL instead of loading -model")
+	modelID := fs.String("model-id", "", "with -addr: the registry entry to address over /v2 (exact id or app:<name>; empty = the /v1 default)")
 	asJSON := fs.Bool("json", false, "emit the wire-schema ModelInfo (errors as ErrorResponse)")
 	fs.Parse(args)
 
-	snap, err := hsmodel.LoadSnapshot(*modelPath)
+	info, err := modelInfo(*modelPath, *addr, *modelID)
 	if err != nil {
 		if *asJSON {
 			json.NewEncoder(os.Stdout).Encode(hsmodel.ErrorResponse{Error: err.Error()})
@@ -254,22 +278,24 @@ func cmdModel(args []string) error {
 		}
 		return err
 	}
-	desc := snap.Describe()
-	info := hsmodel.ModelInfo{
-		Trained:      true,
-		Family:       snap.Family(),
-		FamilyScores: snap.FamilyScores(),
-		Spec:         desc.Spec,
-		Terms:        desc.Terms,
-		Detail:       desc.Detail,
-		Rung:         snap.Rung().String(),
-		TrainedRows:  snap.TrainedRows(),
-		ShardLen:     snap.ShardLen(),
-	}
 	if *asJSON {
 		return json.NewEncoder(os.Stdout).Encode(info)
 	}
-	fmt.Printf("model %s\n", *modelPath)
+	source := *modelPath
+	if *addr != "" {
+		source = *addr
+		if info.Model != "" {
+			source += " model " + info.Model
+		}
+	}
+	fmt.Printf("model %s\n", source)
+	if info.Application != "" {
+		fmt.Printf("  application:  %s\n", info.Application)
+	}
+	if !info.Trained {
+		fmt.Println("  trained:      false")
+		return nil
+	}
 	fmt.Printf("  family:       %s\n", info.Family)
 	fmt.Printf("  rung:         %s\n", info.Rung)
 	fmt.Printf("  trained rows: %d\n", info.TrainedRows)
@@ -290,4 +316,29 @@ func cmdModel(args []string) error {
 		}
 	}
 	return nil
+}
+
+// modelInfo assembles the wire ModelInfo either from a local snapshot file or
+// from a live server's /v1/model or /v2/models/{id}/model route.
+func modelInfo(modelPath, addr, modelID string) (hsmodel.ModelInfo, error) {
+	if addr != "" {
+		client := hsmodel.NewClient(addr, hsmodel.WithModelID(modelID))
+		return client.ModelInfo(context.Background())
+	}
+	snap, err := hsmodel.LoadSnapshot(modelPath)
+	if err != nil {
+		return hsmodel.ModelInfo{}, err
+	}
+	desc := snap.Describe()
+	return hsmodel.ModelInfo{
+		Trained:      true,
+		Family:       snap.Family(),
+		FamilyScores: snap.FamilyScores(),
+		Spec:         desc.Spec,
+		Terms:        desc.Terms,
+		Detail:       desc.Detail,
+		Rung:         snap.Rung().String(),
+		TrainedRows:  snap.TrainedRows(),
+		ShardLen:     snap.ShardLen(),
+	}, nil
 }

@@ -17,15 +17,17 @@
 //
 // The report records each scenario's throughput and latency percentiles plus
 // the batch-vs-seed speedup. With -addr it instead drives a live hsserve over
-// HTTP (POST /v1/predict and /v1/predict:batch).
+// HTTP — the legacy /v1 predict routes by default, or one entry of the
+// multi-model registry over the /v2/models/{id} routes when -model-id names
+// it (an exact id or the "app:<name>" consistent-hash alias).
 //
 //	hsload -out BENCH_pr8.json              in-process, write the report
 //	hsload -duration 10s -conc 16           heavier in-process run
 //	hsload -addr http://localhost:8080      load-test a running hsserve
+//	hsload -addr ... -model-id m-bzip2      pin the load to one registry entry
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -48,6 +50,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "", "drive a live hsserve at this base URL instead of in-process")
+	modelID := flag.String("model-id", "", "with -addr: the registry entry to address over /v2 (exact id or app:<name>; empty = the /v1 default routes)")
 	out := flag.String("out", "", "write the JSON report here (default: stdout only)")
 	conc := flag.Int("conc", 8, "concurrent client goroutines per scenario")
 	duration := flag.Duration("duration", 3*time.Second, "measured time per scenario")
@@ -61,7 +64,7 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "hsload: ", log.LstdFlags)
-	if err := run(logger, *addr, *out, *conc, *duration, *batch, *apps, *samples, *pop, *gens, *seed, *shardLen); err != nil {
+	if err := run(logger, *addr, *modelID, *out, *conc, *duration, *batch, *apps, *samples, *pop, *gens, *seed, *shardLen); err != nil {
 		logger.Fatal(err)
 	}
 }
@@ -89,7 +92,7 @@ type report struct {
 	SpeedupBatchVsSeed float64 `json:"speedup_batch_vs_seed"`
 }
 
-func run(logger *log.Logger, addr, out string, conc int, duration time.Duration, batch, nApps, samples, pop, gens int, seed uint64, shardLen int) error {
+func run(logger *log.Logger, addr, modelID, out string, conc int, duration time.Duration, batch, nApps, samples, pop, gens int, seed uint64, shardLen int) error {
 	xs, hws, tr, model, err := workload(logger, addr == "", nApps, samples, pop, gens, seed, shardLen)
 	if err != nil {
 		return err
@@ -108,7 +111,7 @@ func run(logger *log.Logger, addr, out string, conc int, duration time.Duration,
 	}
 
 	if addr != "" {
-		err = runHTTP(logger, rep, addr, conc, duration, batch, xs, hws)
+		err = runHTTP(logger, rep, addr, modelID, conc, duration, batch, xs, hws)
 	} else {
 		err = runInProcess(logger, rep, tr, conc, duration, batch, xs, hws)
 	}
@@ -254,20 +257,27 @@ func driveServer(logger *log.Logger, rep *report, name string, cfg serve.Config,
 }
 
 // runHTTP measures a live server over the wire: single predicts and batch
-// posts. Latency includes JSON and socket cost — the client's view.
-func runHTTP(logger *log.Logger, rep *report, base string, conc int, duration time.Duration, batch int, xs []profile.Characteristics, hws []hwspace.Config) error {
-	single := func(pos int, client *http.Client) (int, error) {
-		req := predictWire(xs[pos%len(xs)], hws[pos%len(hws)])
-		var pr hsmodel.PredictResponse
-		return 1, postJSON(client, base+"/v1/predict", req, &pr)
+// posts, through the facade Client so the same run exercises the /v1 routes
+// (empty model id) or one registry entry's /v2 routes. Latency includes JSON
+// and socket cost — the client's view.
+func runHTTP(logger *log.Logger, rep *report, base, modelID string, conc int, duration time.Duration, batch int, xs []profile.Characteristics, hws []hwspace.Config) error {
+	newClient := func() *hsmodel.Client {
+		return hsmodel.NewClient(base,
+			hsmodel.WithModelID(modelID),
+			hsmodel.WithHTTPClient(&http.Client{Timeout: 30 * time.Second}))
 	}
-	many := func(pos int, client *http.Client) (int, error) {
+	ctx := context.Background()
+	single := func(pos int, client *hsmodel.Client) (int, error) {
+		_, err := client.Predict(ctx, predictWire(xs[pos%len(xs)], hws[pos%len(hws)]))
+		return 1, err
+	}
+	many := func(pos int, client *hsmodel.Client) (int, error) {
 		var br hsmodel.BatchPredictRequest
 		for i := 0; i < batch; i++ {
 			br.Requests = append(br.Requests, predictWire(xs[(pos+i)%len(xs)], hws[(pos+i)%len(hws)]))
 		}
-		var resp hsmodel.BatchPredictResponse
-		if err := postJSON(client, base+"/v1/predict:batch", br, &resp); err != nil {
+		resp, err := client.PredictBatch(ctx, br)
+		if err != nil {
 			return 0, err
 		}
 		for _, item := range resp.Results {
@@ -277,15 +287,19 @@ func runHTTP(logger *log.Logger, rep *report, base string, conc int, duration ti
 		}
 		return batch, nil
 	}
+	route := "/v1"
+	if modelID != "" {
+		route = "/v2/models/" + modelID
+	}
 	for _, sc := range []struct {
 		name string
-		call func(int, *http.Client) (int, error)
+		call func(int, *hsmodel.Client) (int, error)
 		note string
 	}{
-		{"http_single", single, "one POST /v1/predict per prediction: the wire shape of the unsharded/unbatched seed serving path"},
-		{"http_batch", many, fmt.Sprintf("POST /v1/predict:batch, %d predictions per request, answered as one multi-item job in contiguous PredictBatch sweeps", batch)},
+		{"http_single", single, fmt.Sprintf("one POST %s/predict per prediction: the wire shape of the unsharded/unbatched seed serving path", route)},
+		{"http_batch", many, fmt.Sprintf("POST %s/predict:batch, %d predictions per request, answered as one multi-item job in contiguous PredictBatch sweeps", route, batch)},
 	} {
-		res, err := driveHTTP(sc.call, conc, duration, sc.note)
+		res, err := driveHTTP(newClient, sc.call, conc, duration, sc.note)
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", sc.name, err)
 		}
@@ -299,7 +313,7 @@ func runHTTP(logger *log.Logger, rep *report, base string, conc int, duration ti
 	return nil
 }
 
-func driveHTTP(call func(int, *http.Client) (int, error), conc int, duration time.Duration, note string) (scenarioResult, error) {
+func driveHTTP(newClient func() *hsmodel.Client, call func(int, *hsmodel.Client) (int, error), conc int, duration time.Duration, note string) (scenarioResult, error) {
 	var stop atomic.Bool
 	lats := make([][]int64, conc)
 	counts := make([]int, conc)
@@ -310,7 +324,7 @@ func driveHTTP(call func(int, *http.Client) (int, error), conc int, duration tim
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			client := &http.Client{Timeout: 30 * time.Second}
+			client := newClient()
 			pos := c * 17
 			for !stop.Load() {
 				t0 := time.Now()
@@ -366,23 +380,4 @@ func summarize(lats [][]int64, counts []int, elapsed time.Duration, note string)
 		P999us:      pct(0.999),
 		Note:        note,
 	}
-}
-
-// postJSON POSTs v and decodes the response into out, failing on non-200.
-func postJSON(client *http.Client, url string, v, out any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e hsmodel.ErrorResponse
-		json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }

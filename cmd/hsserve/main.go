@@ -6,9 +6,11 @@
 //
 //	hsserve -model model.json                   serve a persisted snapshot
 //	hsserve -bootstrap -samples 40 -apps 3      train in-process, then serve
+//	hsserve -models fleet.json                  multi-model registry from a manifest
 //	hsserve -lifecycle -bootstrap               continuous learning on /v1/samples
 //	hsserve -selfcheck                          one-process smoke test (CI)
 //	hsserve -driftcheck                         scripted drift episode smoke test (CI)
+//	hsserve -registrycheck                      multi-model registry smoke test (CI)
 //
 // SIGHUP hot-reloads the snapshot from -model without dropping requests;
 // SIGINT/SIGTERM shut down gracefully, draining in-flight batches.
@@ -27,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -57,6 +60,9 @@ func main() {
 	minProfiles := flag.Int("min-profiles", 0, "lifecycle: fresh post-drift profiles required before a shadow retrain (0 = default)")
 	canaryTolerance := flag.Float64("canary-tolerance", 0, "lifecycle: relative slack a candidate gets on the canary set before promotion (0 = default)")
 	driftcheck := flag.Bool("driftcheck", false, "scripted drift episode over loopback: assert one promotion and one rollback, exit")
+	modelsPath := flag.String("models", "", "multi-model manifest (JSON, wire Manifest schema): its entries are registered at boot and the file is rewritten after every successful /v2/models register/unregister")
+	queueBound := flag.Int("queue-bound", 0, "shed predictions registry-wide (429 + Retry-After) once aggregate queued predictions across all models reach this (0 = no aggregate bound)")
+	registrycheck := flag.Bool("registrycheck", false, "three-entry registry over loopback: fan one profile stream, retrain every entry, assert v1/v2 parity and per-model metrics, exit")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "hsserve: ", log.LstdFlags)
@@ -74,6 +80,13 @@ func main() {
 		logger.Println("driftcheck passed")
 		return
 	}
+	if *registrycheck {
+		if err := runRegistryCheck(logger); err != nil {
+			logger.Fatalf("registrycheck FAILED: %v", err)
+		}
+		logger.Println("registrycheck passed")
+		return
+	}
 
 	tr := hsmodel.New(nil, hsmodel.WithSeed(*seed), hsmodel.WithShardLen(*shardLen))
 	if *bootstrap {
@@ -89,6 +102,8 @@ func main() {
 		Shards:         *shards,
 		RequestTimeout: *timeout,
 		ModelPath:      *modelPath,
+		ManifestPath:   *modelsPath,
+		QueueBound:     *queueBound,
 		Logger:         logger,
 	}
 	if *lifecycleOn {
@@ -272,6 +287,245 @@ func runSelfcheck(logger *log.Logger) error {
 	}
 	logger.Println("metrics ok")
 	return nil
+}
+
+// runRegistryCheck is the CI smoke test for multi-model serving: it boots a
+// server from a three-entry manifest (two application-scoped models plus one
+// wildcard) next to the bootstrap-trained default entry, fans one profile
+// stream through the legacy /v1/samples route, and asserts the registry
+// semantics end to end — every matching entry's store advanced, every entry
+// retrains to a served snapshot, /v1 and /v2 answer bit-identical
+// predictions for the default entry, wire register/unregister round-trips
+// through the persisted manifest, and the scrape carries the per-model
+// series.
+func runRegistryCheck(logger *log.Logger) error {
+	tr := hsmodel.New(nil, hsmodel.WithSeed(7), hsmodel.WithShardLen(20_000))
+	if err := bootstrapTrain(tr, 3, 40, 8, 2, 7, 20_000, logger); err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "hsserve-registrycheck")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	manifestPath := filepath.Join(dir, "models.json")
+	man := hsmodel.Manifest{Models: []hsmodel.RegisterRequest{
+		{ID: "m-bzip2", Application: "bzip2", Seed: 11, ShardLen: 20_000, Population: 8, Generations: 2},
+		{ID: "m-hmmer", Application: "hmmer", Seed: 12, ShardLen: 20_000, Population: 8, Generations: 2},
+		{ID: "m-all", Seed: 13, ShardLen: 20_000, Population: 8, Generations: 2},
+	}}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(manifestPath, data, 0o644); err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{
+		Trainer: tr, MaxWait: 5 * time.Millisecond, ManifestPath: manifestPath, Logger: logger,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		hs.Shutdown(ctx)
+		cancel()
+		srv.Close()
+	}()
+	ctx := context.Background()
+	client := hsmodel.NewClient("http://" + ln.Addr().String())
+
+	// The fleet: default + the three manifest entries, default trained.
+	reg, err := client.Models(ctx)
+	if err != nil {
+		return fmt.Errorf("models: %w", err)
+	}
+	status := make(map[string]hsmodel.ModelStatus, len(reg.Models))
+	for _, m := range reg.Models {
+		status[m.ID] = m
+	}
+	if len(reg.Models) != 4 {
+		return fmt.Errorf("models: %d entries, want 4 (default + manifest)", len(reg.Models))
+	}
+	if !status[hsmodel.DefaultModelID].Trained {
+		return fmt.Errorf("models: default entry not trained after bootstrap")
+	}
+	baseline := map[string]int{}
+	for id, m := range status {
+		baseline[id] = m.TotalSamples
+	}
+
+	// Fan one profile stream through the legacy route: every entry whose
+	// application scope matches a sample must absorb it.
+	apps := []*trace.App{trace.Bzip2(), trace.Hmmer(), trace.Sjeng()}
+	col := &hsmodel.Collector{ShardLen: 20_000}
+	// 100 samples/app: enough rows for an application-scoped entry (which
+	// absorbs only its own third of the stream) to fit a searched spec.
+	logger.Println("registrycheck: collecting fan-out stream...")
+	stream := col.Collect(apps, 100, 9)
+	wire := make([]hsmodel.SampleWire, len(stream))
+	perApp := map[string]int{}
+	for i, s := range stream {
+		wire[i] = hsmodel.SampleToWire(s)
+		perApp[s.App]++
+	}
+	sr, err := client.Samples(ctx, hsmodel.SamplesRequest{Samples: wire})
+	if err != nil {
+		return fmt.Errorf("samples fan-out: %w", err)
+	}
+	if sr.Accepted != len(stream) {
+		return fmt.Errorf("samples fan-out: accepted %d, want %d", sr.Accepted, len(stream))
+	}
+	reg, err = client.Models(ctx)
+	if err != nil {
+		return err
+	}
+	for _, m := range reg.Models {
+		want := len(stream) // wildcard scope ("default", "m-all")
+		if app := m.Application; app != "" {
+			want = perApp[app]
+		}
+		if got := m.TotalSamples - baseline[m.ID]; got != want {
+			return fmt.Errorf("fan-out: model %q store advanced by %d samples, want %d", m.ID, got, want)
+		}
+	}
+	logger.Printf("fan-out ok: %d samples advanced all %d matching stores", len(stream), len(reg.Models))
+
+	// Retrain every manifest entry on its fanned-out share and wait for the
+	// snapshot: trained-row counts must advance from zero.
+	sampleFor := func(app string) hsmodel.SampleWire {
+		for i, s := range stream {
+			if app == "" || s.App == app {
+				return wire[i]
+			}
+		}
+		return wire[0]
+	}
+	for _, id := range []string{"m-bzip2", "m-hmmer", "m-all"} {
+		mc := client.Model(id)
+		sr, err := mc.Samples(ctx, hsmodel.SamplesRequest{
+			Samples: []hsmodel.SampleWire{sampleFor(status[id].Application)},
+			Update:  true,
+		})
+		if err != nil {
+			return fmt.Errorf("model %q samples: %w", id, err)
+		}
+		if !sr.UpdateStarted {
+			return fmt.Errorf("model %q: update not started", id)
+		}
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			info, err := mc.ModelInfo(ctx)
+			if err != nil {
+				return fmt.Errorf("model %q info: %w", id, err)
+			}
+			if info.Trained {
+				if info.Model != id {
+					return fmt.Errorf("model %q info: addressed body names %q", id, info.Model)
+				}
+				if info.TrainedRows <= 0 {
+					return fmt.Errorf("model %q: trained with %d rows", id, info.TrainedRows)
+				}
+				logger.Printf("model %q trained: family %s, %d rows", id, info.Family, info.TrainedRows)
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("model %q: not trained within deadline", id)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// v1 and the model-addressed v2 route must answer the default entry's
+	// predictions bit-identically.
+	preq := hsmodel.PredictRequest{X: wire[0].X, Config: wire[0].Config}
+	v1p, err := client.Predict(ctx, preq)
+	if err != nil {
+		return fmt.Errorf("v1 predict: %w", err)
+	}
+	v2p, err := client.Model(hsmodel.DefaultModelID).Predict(ctx, preq)
+	if err != nil {
+		return fmt.Errorf("v2 predict: %w", err)
+	}
+	if math.Float64bits(v1p.CPI) != math.Float64bits(v2p.CPI) {
+		return fmt.Errorf("v1/v2 parity: %v vs %v", v1p.CPI, v2p.CPI)
+	}
+	logger.Printf("v1/v2 parity ok: cpi %.4f", v1p.CPI)
+
+	// The "app:<name>" alias rides the consistent-hash ring to an entry whose
+	// scope covers the application.
+	info, err := client.Model("app:bzip2").ModelInfo(ctx)
+	if err != nil {
+		return fmt.Errorf("app alias: %w", err)
+	}
+	if info.Model == "" || (info.Application != "" && info.Application != "bzip2") {
+		return fmt.Errorf("app alias: routed to %q (app %q)", info.Model, info.Application)
+	}
+	logger.Printf("app:bzip2 routed to %q", info.Model)
+
+	// Wire register/unregister must round-trip through the persisted manifest.
+	extra := hsmodel.RegisterRequest{ID: "m-extra", Application: "sjeng", Seed: 14, ShardLen: 20_000, Population: 8, Generations: 2}
+	if _, err := client.RegisterModel(ctx, extra); err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	if n, err := manifestLen(manifestPath); err != nil || n != 4 {
+		return fmt.Errorf("manifest after register: %d entries (err %w), want 4", n, err)
+	}
+	if err := client.UnregisterModel(ctx, "m-extra"); err != nil {
+		return fmt.Errorf("unregister: %w", err)
+	}
+	if n, err := manifestLen(manifestPath); err != nil || n != 3 {
+		return fmt.Errorf("manifest after unregister: %d entries (err %w), want 3", n, err)
+	}
+	logger.Println("register/unregister ok: manifest persisted")
+
+	// The scrape must carry the registry-wide and per-model series.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		return err
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	for _, marker := range []string{
+		`hsserve_registry_models 4`,
+		`hsserve_registry_model_trained{model="m-bzip2"} 1`,
+		`hsserve_registry_model_trained{model="m-hmmer"} 1`,
+		`hsserve_registry_model_trained{model="m-all"} 1`,
+		fmt.Sprintf(`hsserve_registry_model_samples{model="m-all"} %d`, len(stream)+1),
+		`hsserve_model_requests_total{model="default",endpoint="predict",code="200"} 1`,
+		`hsserve_model_requests_total{model="m-bzip2",endpoint="v2_samples",code="200"} 1`,
+	} {
+		if !strings.Contains(string(page), marker) {
+			return fmt.Errorf("metrics page missing %q", marker)
+		}
+	}
+	logger.Println("registry metrics ok")
+	return nil
+}
+
+// manifestLen counts the model entries in the persisted manifest.
+func manifestLen(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var man hsmodel.Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return 0, err
+	}
+	return len(man.Models), nil
 }
 
 // runDriftCheck is the CI smoke test for the continuous-learning loop: it

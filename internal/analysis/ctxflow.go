@@ -8,8 +8,8 @@ import (
 
 // CtxFlow enforces the cancellation discipline PR 1 threaded through the
 // engine: exported entry points of the training/search/serving/lifecycle
-// packages (core, genetic, serve, lifecycle, and the model-family packages
-// under internal/family/...) that loop over cancellable work
+// packages (core, genetic, serve, lifecycle, registry, and the model-family
+// packages under internal/family/...) that loop over cancellable work
 // — generations, shards, queued requests, retrain episodes — must accept a
 // context.Context (or *http.Request, whose context serves) and actually use
 // it. Concretely, an exported
@@ -35,6 +35,10 @@ var ctxFlowPkgs = map[string]bool{
 	// that loops without honoring its context would make the selection
 	// harness (and TrainResilient's timeout rung) uncancellable.
 	"family": true, "spline": true, "residual": true, "dal": true,
+	// The registry fans requests and sample batches across entries; its
+	// exported loops (Submit, fan-out predict paths) must stay cancellable or
+	// one slow entry would wedge every caller.
+	"registry": true,
 }
 
 func runCtxFlow(pass *Pass) {

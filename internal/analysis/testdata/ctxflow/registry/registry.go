@@ -1,0 +1,55 @@
+// Fixture extending the ctxflow analyzer to the registry package: the
+// multi-model registry fans sample batches and predictions across entries,
+// so an exported fan-out loop that performs cancellable work without
+// accepting (and using) a context would let one slow entry wedge every
+// caller with no way to bail out.
+package registry
+
+import "context"
+
+type entry struct{}
+
+func (entry) absorb(ctx context.Context, rows int) error { return ctx.Err() }
+
+// Submit fans a batch across every entry with no way for the caller to
+// abandon the fan-out.
+func Submit(entries []entry, rows int) {
+	for _, e := range entries { // want `exported Submit loops over cancellable work but has no context.Context parameter`
+		_ = e.absorb(context.Background(), rows)
+	}
+}
+
+// SubmitCtx threads the request context through each entry's absorb. Legal.
+func SubmitCtx(ctx context.Context, entries []entry, rows int) error {
+	for _, e := range entries {
+		if err := e.absorb(ctx, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Route walks the hash ring clockwise: pure arithmetic over sorted points,
+// no cancellable work, no context needed. Legal.
+func Route(points []uint64, key uint64) int {
+	lo, hi := 0, len(points)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if points[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(points) {
+		return 0
+	}
+	return lo
+}
+
+// Drain accepts a context but ignores it while waiting on entry shutdowns.
+func Drain(ctx context.Context, done []chan struct{}) {
+	for _, ch := range done { // want `exported Drain accepts a context but never uses it`
+		<-ch
+	}
+}

@@ -246,6 +246,26 @@ func (m *Trainer) FitPathStats() regress.GramStats {
 	return m.cache.ev.gc.Stats()
 }
 
+// ReleaseEvalCache drops the cached featurized evaluator (basis columns,
+// Gram cross-products, split bookkeeping). The served snapshot and the
+// sample store are untouched; the next training run rebuilds the evaluator
+// from scratch. The multi-model registry calls this on least-recently-trained
+// entries so aggregate Featurizer/Gram memory stays bounded as models
+// multiply.
+func (m *Trainer) ReleaseEvalCache() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cache = nil
+}
+
+// EvalCacheActive reports whether a featurized evaluator is currently cached
+// (it would be reused by the next training run over an unchanged store).
+func (m *Trainer) EvalCacheActive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cache != nil
+}
+
 // evaluator implements genetic.Evaluator with the paper's inner loops. It
 // featurizes the dataset once (cached basis columns shared by every
 // candidate fit), layers a Gram cache over those columns so each candidate

@@ -1,0 +1,448 @@
+// Package registry is the multi-model serving core: a concurrent registry
+// of named model entries keyed by (application, architecture-space). Each
+// entry owns its own trainer (and therefore its own atomic core.Snapshot),
+// its own prediction batcher, and an optional continuous-learning
+// controller. The registry routes work across entries three ways:
+//
+//   - Resolve pins model-addressed requests ("/v2/models/{id}/...") to their
+//     entry, accepting an "app:<name>" alias that rides the consistent-hash
+//     ring (ring.go) — deterministic under Config.Seed, stable when other
+//     entries leave.
+//   - Submit fans a profile stream out to every entry whose application
+//     scope matches each sample — the paper's §2.1 insight that shard
+//     profiles are shared between applications, operationalized: one
+//     ingested profile feeds many training sets.
+//   - admit sheds predict traffic registry-wide (ErrOverloaded, HTTP 429
+//     upstream) once the aggregate queue depth across all entries crosses
+//     Config.QueueBound.
+//
+// Memory stays flat as models multiply: only the Config.MaxEvalCaches
+// most-recently-trained entries keep their featurized evaluator caches
+// (Featurizer basis columns + Gram cross-products); colder entries drop
+// theirs (Trainer.ReleaseEvalCache) and rebuild on their next training run.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hsmodel/internal/core"
+	"hsmodel/internal/family"
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/lifecycle"
+)
+
+// Sentinel errors callers branch on with errors.Is.
+var (
+	// ErrNotFound is returned for an unknown model id.
+	ErrNotFound = errors.New("registry: model not found")
+	// ErrExists is returned by Register for a duplicate model id.
+	ErrExists = errors.New("registry: model already registered")
+	// ErrClosed is returned once the registry has shut down.
+	ErrClosed = errors.New("registry: registry is closed")
+	// ErrOverloaded is returned by predictions once the aggregate queue
+	// depth crosses Config.QueueBound (HTTP 429 upstream).
+	ErrOverloaded = errors.New("registry: aggregate prediction queue full")
+	// ErrModelLoad wraps snapshot-load failures during Register.
+	ErrModelLoad = errors.New("registry: loading model snapshot")
+)
+
+// DefaultArchSpace names the architecture space entries model unless the
+// spec says otherwise — the paper's Table 2 design space.
+const DefaultArchSpace = "table2"
+
+// Spec declares one model entry; it is the in-process form of the wire
+// RegisterRequest and of one manifest element.
+type Spec struct {
+	// ID is the registry key (required; "default" is reserved by the serving
+	// layer for the v1 alias entry).
+	ID string
+	// Application scopes the entry's sample fan-out: only samples whose App
+	// matches are absorbed. Empty matches every application.
+	Application string
+	// ArchSpace names the architecture space (default "table2").
+	ArchSpace string
+	// ModelPath, when non-empty, is a persisted snapshot adopted at
+	// registration (and the path hot reloads serve from).
+	ModelPath string
+	// Families lists model families for per-entry selection rounds; empty
+	// keeps the classic reference-spline engine.
+	Families []string
+	// Seed determinizes the entry's search and fitness splits.
+	Seed uint64
+	// ShardLen is recorded in published snapshots (0 = DefaultShardLen).
+	ShardLen int
+	// Population / Generations bound the entry's genetic search (0 = the
+	// search's defaults).
+	Population  int
+	Generations int
+	// Lifecycle, when non-nil, attaches a continuous-learning controller to
+	// the entry.
+	Lifecycle *lifecycle.Config
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.ArchSpace == "" {
+		s.ArchSpace = DefaultArchSpace
+	}
+	return s
+}
+
+// Config configures a Registry. The zero value of every optional field
+// takes the documented default.
+type Config struct {
+	// Seed determinizes consistent-hash placement.
+	Seed uint64
+	// VNodes is the virtual nodes per entry on the ring (default 64).
+	VNodes int
+	// QueueBound sheds predictions registry-wide once the aggregate queued
+	// predictions across all entries reach it; 0 disables the aggregate
+	// bound (per-batcher shedding still applies).
+	QueueBound int
+	// MaxEvalCaches bounds how many entries keep their featurized evaluator
+	// caches (default 4); least-recently-trained entries beyond it release
+	// theirs.
+	MaxEvalCaches int
+	// NewBatcher builds the prediction path of a new entry; nil uses the
+	// direct (unbatched) snapshot predictor.
+	NewBatcher func(e *Entry) Batcher
+	// OnShed, when non-nil, fires once per aggregate-bound shed.
+	OnShed func()
+	// OnChange, when non-nil, fires after every successful Register or
+	// Unregister (the serving layer persists its manifest here). It is
+	// called without the registry lock held.
+	OnChange func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.MaxEvalCaches <= 0 {
+		c.MaxEvalCaches = 4
+	}
+	return c
+}
+
+// Registry is a concurrent collection of model entries with consistent-hash
+// routing, shared-profile fan-out, and registry-wide load shedding. Create
+// with New, populate with Register/RegisterTrainer, and drain with Close.
+type Registry struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	ring    *hashRing
+	recency []*Entry // most-recently-trained first; tail beyond MaxEvalCaches released
+	closed  bool
+}
+
+// New builds an empty registry.
+func New(cfg Config) *Registry {
+	return &Registry{
+		cfg:     cfg.withDefaults(),
+		entries: make(map[string]*Entry),
+		ring:    buildRing(cfg.Seed, 1, nil),
+	}
+}
+
+// Register creates an entry from spec: a fresh trainer configured from the
+// spec (families resolved by name, snapshot adopted from ModelPath when
+// set), a lifecycle controller when requested, and a batcher from
+// Config.NewBatcher.
+func (r *Registry) Register(spec Spec) (*Entry, error) {
+	tr, err := trainerFromSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return r.RegisterTrainer(spec, tr)
+}
+
+// RegisterTrainer registers an entry around an existing trainer — the
+// serving layer uses it to alias its bootstrap trainer as the reserved
+// "default" entry. The trainer must not already be registered.
+func (r *Registry) RegisterTrainer(spec Spec, tr *core.Trainer) (*Entry, error) {
+	spec = spec.withDefaults()
+	if spec.ID == "" {
+		return nil, errors.New("registry: spec needs a model id")
+	}
+	e := &Entry{spec: spec, reg: r, trainer: tr}
+	if spec.Lifecycle != nil {
+		e.lifecycle = lifecycle.NewController(tr, *spec.Lifecycle)
+	}
+	if r.cfg.NewBatcher != nil {
+		e.batcher = r.cfg.NewBatcher(e)
+	} else {
+		e.batcher = directBatcher{snap: tr.Snapshot}
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		e.close()
+		return nil, ErrClosed
+	}
+	if _, ok := r.entries[spec.ID]; ok {
+		r.mu.Unlock()
+		e.close()
+		return nil, fmt.Errorf("%w: %q", ErrExists, spec.ID)
+	}
+	r.entries[spec.ID] = e
+	r.touchLocked(e)
+	r.rebuildRingLocked()
+	r.mu.Unlock()
+
+	e.ObserveSnapshot()
+	if r.cfg.OnChange != nil {
+		r.cfg.OnChange()
+	}
+	return e, nil
+}
+
+// trainerFromSpec builds and configures the entry's trainer.
+func trainerFromSpec(spec Spec) (*core.Trainer, error) {
+	tr := core.NewTrainer(nil)
+	tr.ShardLen = spec.ShardLen
+	tr.Search = genetic.Params{
+		PopulationSize: spec.Population,
+		Generations:    spec.Generations,
+		Seed:           spec.Seed,
+	}
+	tr.Fitness.Seed = spec.Seed
+	if len(spec.Families) > 0 {
+		fams := make([]family.Family, len(spec.Families))
+		for i, name := range spec.Families {
+			fam := core.FamilyByName(name)
+			if fam == nil {
+				return nil, fmt.Errorf("registry: unknown model family %q", name)
+			}
+			fams[i] = fam
+		}
+		tr.Families = fams
+	}
+	if spec.ModelPath != "" {
+		snap, err := core.LoadSnapshot(spec.ModelPath)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %w", ErrModelLoad, spec.ModelPath, err)
+		}
+		tr.Adopt(snap)
+	}
+	return tr, nil
+}
+
+// Unregister removes and drains the entry. Keys previously routed to other
+// entries keep their assignments — only keys that pointed at the removed
+// entry's vnodes remap.
+func (r *Registry) Unregister(id string) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	e, ok := r.entries[id]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	delete(r.entries, id)
+	r.dropRecencyLocked(e)
+	r.rebuildRingLocked()
+	r.mu.Unlock()
+
+	e.close()
+	if r.cfg.OnChange != nil {
+		r.cfg.OnChange()
+	}
+	return nil
+}
+
+// Get returns the entry registered under id.
+func (r *Registry) Get(id string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[id]
+	return e, ok
+}
+
+// Resolve maps a wire model address to an entry: an exact id, or the
+// "app:<name>" alias routed over the consistent-hash ring to an entry whose
+// application scope covers <name>.
+func (r *Registry) Resolve(addr string) (*Entry, bool) {
+	if e, ok := r.Get(addr); ok {
+		return e, true
+	}
+	if app, ok := strings.CutPrefix(addr, "app:"); ok {
+		return r.RouteApp(app)
+	}
+	return nil, false
+}
+
+// RouteApp routes an application name over the ring to one entry whose
+// scope covers it (deterministic in Config.Seed and the membership).
+func (r *Registry) RouteApp(app string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id, ok := r.ring.route(r.cfg.Seed, app, func(id string) bool {
+		return r.entries[id].Matches(app)
+	})
+	if !ok {
+		return nil, false
+	}
+	return r.entries[id], true
+}
+
+// Route routes an opaque key over the ring with no application filtering.
+func (r *Registry) Route(key string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id, ok := r.ring.route(r.cfg.Seed, key, nil)
+	if !ok {
+		return nil, false
+	}
+	return r.entries[id], true
+}
+
+// Entries returns every registered entry, sorted by id.
+func (r *Registry) Entries() []*Entry {
+	r.mu.RLock()
+	out := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].spec.ID < out[j].spec.ID })
+	return out
+}
+
+// Specs returns the registration specs of every entry, sorted by id — the
+// serving layer's manifest persistence source.
+func (r *Registry) Specs() []Spec {
+	entries := r.Entries()
+	out := make([]Spec, len(entries))
+	for i, e := range entries {
+		out[i] = e.spec
+	}
+	return out
+}
+
+// Len reports the number of registered entries.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Submit fans samples out to every entry whose application scope matches
+// each sample — one submitted profile advances the sample store of every
+// matching model. It returns the sorted ids of the entries that absorbed at
+// least one sample.
+func (r *Registry) Submit(samples []core.Sample) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var touched []string
+	var scratch []core.Sample
+	for id, e := range r.entries {
+		scratch = scratch[:0]
+		for _, s := range samples {
+			if e.Matches(s.App) {
+				scratch = append(scratch, s)
+			}
+		}
+		if len(scratch) == 0 {
+			continue
+		}
+		e.Absorb(scratch)
+		touched = append(touched, id)
+	}
+	sort.Strings(touched)
+	return touched
+}
+
+// QueueDepth sums queued predictions across every entry's batcher.
+func (r *Registry) QueueDepth() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := 0
+	for _, e := range r.entries {
+		total += e.batcher.Queued()
+	}
+	return total
+}
+
+// admit applies the registry-wide load bound before a prediction enters an
+// entry's batcher.
+func (r *Registry) admit() error {
+	if r.cfg.QueueBound <= 0 {
+		return nil
+	}
+	if r.QueueDepth() >= r.cfg.QueueBound {
+		if r.cfg.OnShed != nil {
+			r.cfg.OnShed()
+		}
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// touch marks e most-recently-trained and releases the evaluator caches of
+// entries that fell off the bounded recency list.
+func (r *Registry) touch(e *Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.touchLocked(e)
+}
+
+func (r *Registry) touchLocked(e *Entry) {
+	r.dropRecencyLocked(e)
+	r.recency = append(r.recency, nil)
+	copy(r.recency[1:], r.recency)
+	r.recency[0] = e
+	for _, cold := range r.recency[min(r.cfg.MaxEvalCaches, len(r.recency)):] {
+		cold.trainer.ReleaseEvalCache()
+	}
+}
+
+func (r *Registry) dropRecencyLocked(e *Entry) {
+	for i, x := range r.recency {
+		if x == e {
+			r.recency = append(r.recency[:i], r.recency[i+1:]...)
+			return
+		}
+	}
+}
+
+func (r *Registry) rebuildRingLocked() {
+	ids := make([]string, 0, len(r.entries))
+	for id := range r.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	r.ring = buildRing(r.cfg.Seed, r.cfg.VNodes, ids)
+}
+
+// Close drains the registry: every entry's batcher answers what it
+// accepted, in-flight updates complete, and every control loop shuts down.
+// Safe to call more than once.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	entries := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.entries = make(map[string]*Entry)
+	r.recency = nil
+	r.rebuildRingLocked()
+	r.mu.Unlock()
+
+	for _, e := range entries {
+		e.close()
+	}
+}

@@ -1,0 +1,353 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hsmodel/internal/core"
+	"hsmodel/internal/genetic"
+	"hsmodel/internal/trace"
+)
+
+// testSamples are collected once: simulation dominates fixture cost and the
+// profiles are deterministic in the seed.
+var (
+	sampleOnce sync.Once
+	sampleAll  []core.Sample
+)
+
+func testSamples(t testing.TB) []core.Sample {
+	t.Helper()
+	sampleOnce.Do(func() {
+		col := &core.Collector{ShardLen: 20_000, ShardPool: 12}
+		apps := []*trace.App{trace.Bzip2(), trace.Hmmer(), trace.Sjeng()}
+		sampleAll = col.Collect(apps, 40, 7)
+	})
+	return sampleAll
+}
+
+// trainedTrainer returns a small trainer trained on its own copy of the
+// shared store; distinct seeds land on distinct model specifications.
+func trainedTrainer(t testing.TB, seed uint64) *core.Trainer {
+	t.Helper()
+	tr := core.NewTrainer(append([]core.Sample(nil), testSamples(t)...))
+	tr.ShardLen = 20_000
+	tr.Search = genetic.Params{PopulationSize: 10, Generations: 2, Seed: seed}
+	tr.Fitness.Seed = seed
+	if err := tr.Train(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRegisterResolveUnregister(t *testing.T) {
+	r := New(Config{Seed: 5})
+	defer r.Close()
+	for _, spec := range []Spec{
+		{ID: "m-bzip2", Application: "bzip2"},
+		{ID: "m-hmmer", Application: "hmmer"},
+		{ID: "m-all"},
+	} {
+		if _, err := r.RegisterTrainer(spec, core.NewTrainer(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.RegisterTrainer(Spec{ID: "m-all"}, core.NewTrainer(nil)); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate register: %v, want ErrExists", err)
+	}
+	if _, err := r.RegisterTrainer(Spec{}, core.NewTrainer(nil)); err == nil {
+		t.Fatal("empty id register succeeded")
+	}
+	if e, ok := r.Get("m-bzip2"); !ok || e.ID() != "m-bzip2" || e.ArchSpace() != DefaultArchSpace {
+		t.Fatalf("Get(m-bzip2) = %v, %v", e, ok)
+	}
+	if e, ok := r.Resolve("m-hmmer"); !ok || e.ID() != "m-hmmer" {
+		t.Fatalf("Resolve by id failed: %v, %v", e, ok)
+	}
+	// The app alias must land on an entry whose scope covers the application,
+	// deterministically.
+	first, ok := r.Resolve("app:bzip2")
+	if !ok || !first.Matches("bzip2") {
+		t.Fatalf("Resolve(app:bzip2) = %v, %v", first, ok)
+	}
+	for i := 0; i < 10; i++ {
+		e, ok := r.Resolve("app:bzip2")
+		if !ok || e != first {
+			t.Fatalf("app alias not deterministic: %v vs %v", e, first)
+		}
+	}
+	if _, ok := r.Resolve("app:nonesuch"); ok {
+		// "m-all" has wildcard scope, so even unknown apps route somewhere.
+	} else {
+		t.Fatal("wildcard entry did not cover an unknown application")
+	}
+	if _, ok := r.Resolve("missing"); ok {
+		t.Fatal("Resolve invented an entry")
+	}
+
+	if err := r.Unregister("m-hmmer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unregister("m-hmmer"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double unregister: %v, want ErrNotFound", err)
+	}
+	if got := len(r.Entries()); got != 2 || r.Len() != 2 {
+		t.Fatalf("after unregister: %d entries", got)
+	}
+
+	r.Close()
+	if _, err := r.RegisterTrainer(Spec{ID: "late"}, core.NewTrainer(nil)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("register after close: %v, want ErrClosed", err)
+	}
+	if err := r.Unregister("m-bzip2"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("unregister after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestSubmitFanOut pins the fan-out semantics: one submitted profile advances
+// the store of every entry whose application scope matches it.
+func TestSubmitFanOut(t *testing.T) {
+	r := New(Config{})
+	defer r.Close()
+	specs := []Spec{
+		{ID: "m-bzip2", Application: "bzip2"},
+		{ID: "m-hmmer", Application: "hmmer"},
+		{ID: "m-all"},
+	}
+	for _, spec := range specs {
+		if _, err := r.RegisterTrainer(spec, core.NewTrainer(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samples := testSamples(t)
+	perApp := map[string]int{}
+	for _, s := range samples {
+		perApp[s.App]++
+	}
+	touched := r.Submit(samples)
+	if len(touched) != 3 {
+		t.Fatalf("touched %v, want all three entries", touched)
+	}
+	for _, spec := range specs {
+		e, _ := r.Get(spec.ID)
+		want := len(samples)
+		if spec.Application != "" {
+			want = perApp[spec.Application]
+		}
+		if got := e.Trainer().NumSamples(); got != want {
+			t.Fatalf("entry %q absorbed %d samples, want %d", spec.ID, got, want)
+		}
+	}
+
+	// A sample outside every scoped entry's application touches only the
+	// wildcard entry.
+	sjeng := make([]core.Sample, 0, 1)
+	for _, s := range samples {
+		if s.App == "sjeng" {
+			sjeng = append(sjeng, s)
+			break
+		}
+	}
+	if touched := r.Submit(sjeng); len(touched) != 1 || touched[0] != "m-all" {
+		t.Fatalf("sjeng sample touched %v, want only m-all", touched)
+	}
+}
+
+// TestNoCrossEntrySnapshotLeakage registers three differently-trained entries
+// and asserts each serves exactly its own snapshot: pointer-distinct across
+// entries, and predictions through the entry bit-identical to direct reads of
+// that entry's snapshot.
+func TestNoCrossEntrySnapshotLeakage(t *testing.T) {
+	r := New(Config{})
+	defer r.Close()
+	seeds := map[string]uint64{"m-a": 3, "m-b": 4, "m-c": 5}
+	snaps := map[string]*core.Snapshot{}
+	for id, seed := range seeds {
+		tr := trainedTrainer(t, seed)
+		if _, err := r.RegisterTrainer(Spec{ID: id}, tr); err != nil {
+			t.Fatal(err)
+		}
+		snaps[id] = tr.Snapshot()
+	}
+	for a, sa := range snaps {
+		for b, sb := range snaps {
+			if a != b && sa == sb {
+				t.Fatalf("entries %q and %q share a snapshot pointer", a, b)
+			}
+		}
+	}
+	s := testSamples(t)[0]
+	ctx := context.Background()
+	for id := range seeds {
+		e, _ := r.Get(id)
+		_, _, served := e.ObserveSnapshot()
+		if served != snaps[id] {
+			t.Fatalf("entry %q serves a foreign snapshot", id)
+		}
+		got, err := e.Predict(ctx, s.X, s.HW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := snaps[id].PredictShard(s.X, s.HW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("entry %q: served %v, own snapshot %v", id, got, want)
+		}
+	}
+}
+
+// TestRegisterUnregisterDuringPredictLoad churns registry membership while
+// predict and routing traffic hammers a stable entry — the concurrency
+// contract, held under -race.
+func TestRegisterUnregisterDuringPredictLoad(t *testing.T) {
+	r := New(Config{Seed: 9})
+	defer r.Close()
+	stable, err := r.RegisterTrainer(Spec{ID: "stable"}, trainedTrainer(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := testSamples(t)
+	s := samples[0]
+	ctx := context.Background()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, err := stable.Predict(ctx, s.X, s.HW); err != nil {
+					t.Error(err)
+					return
+				}
+				if e, ok := r.Resolve("app:" + s.App); !ok || e == nil {
+					t.Error("routing lost every entry")
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			id := []string{"churn-a", "churn-b"}[i%2]
+			if _, err := r.RegisterTrainer(Spec{ID: id, Application: "hmmer"}, core.NewTrainer(nil)); err != nil {
+				t.Error(err)
+				return
+			}
+			r.Submit(samples[:4])
+			if err := r.Unregister(id); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if n := r.Len(); n != 1 {
+		t.Fatalf("%d entries after churn, want the stable one", n)
+	}
+}
+
+// TestEvalCacheLRU pins the flat-memory property: only the MaxEvalCaches
+// most-recently-trained entries keep their featurized evaluator caches.
+func TestEvalCacheLRU(t *testing.T) {
+	r := New(Config{MaxEvalCaches: 1})
+	defer r.Close()
+	ta := trainedTrainer(t, 3)
+	tb := trainedTrainer(t, 4)
+	if !ta.EvalCacheActive() || !tb.EvalCacheActive() {
+		t.Fatal("training did not leave an evaluator cache")
+	}
+	ea, err := r.RegisterTrainer(Spec{ID: "m-a"}, ta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ta.EvalCacheActive() {
+		t.Fatal("sole entry lost its cache")
+	}
+	if _, err := r.RegisterTrainer(Spec{ID: "m-b"}, tb); err != nil {
+		t.Fatal(err)
+	}
+	if ta.EvalCacheActive() {
+		t.Fatal("cold entry kept its cache beyond MaxEvalCaches")
+	}
+	if !tb.EvalCacheActive() {
+		t.Fatal("most recent entry lost its cache")
+	}
+
+	// A successful update marks the entry most recently trained again and
+	// evicts the other one.
+	done := make(chan error, 1)
+	if !ea.TriggerUpdate(time.Minute, func(err error) { done <- err }) {
+		t.Fatal("update did not start")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !ta.EvalCacheActive() {
+		t.Fatal("updated entry has no cache")
+	}
+	if tb.EvalCacheActive() {
+		t.Fatal("cold entry kept its cache after the update")
+	}
+}
+
+func TestCloseDrainsEveryEntry(t *testing.T) {
+	var closes atomic.Int32
+	r := New(Config{NewBatcher: func(e *Entry) Batcher {
+		return closeCounter{directBatcher{snap: e.Trainer().Snapshot}, &closes}
+	}})
+	for _, id := range []string{"m-a", "m-b", "m-c"} {
+		if _, err := r.RegisterTrainer(Spec{ID: id}, core.NewTrainer(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+	if got := closes.Load(); got != 3 {
+		t.Fatalf("Close drained %d batchers, want 3", got)
+	}
+	r.Close() // idempotent: must not double-drain
+	if got := closes.Load(); got != 3 {
+		t.Fatalf("second Close re-drained: %d closes", got)
+	}
+}
+
+// closeCounter wraps the direct batcher and counts Close calls.
+type closeCounter struct {
+	directBatcher
+	closes *atomic.Int32
+}
+
+func (c closeCounter) Close() { c.closes.Add(1) }
+
+// TestTriggerUpdateSingleFlight: one asynchronous update at a time; a second
+// trigger while one is in flight reports not-started.
+func TestTriggerUpdateSingleFlight(t *testing.T) {
+	r := New(Config{})
+	defer r.Close()
+	e, err := r.RegisterTrainer(Spec{ID: "m"}, trainedTrainer(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := e.TriggerUpdate(time.Minute, func(error) { <-release })
+	if !started {
+		t.Fatal("first update did not start")
+	}
+	if e.TriggerUpdate(time.Minute, nil) {
+		t.Fatal("second update started while the first was in flight")
+	}
+	close(release)
+}

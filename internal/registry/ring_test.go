@@ -1,0 +1,109 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicUnderSeed(t *testing.T) {
+	ids := []string{"alpha", "beta", "gamma"}
+	a := buildRing(42, 64, ids)
+	b := buildRing(42, 64, ids)
+	for _, key := range ringKeys(500) {
+		ida, oka := a.route(42, key, nil)
+		idb, okb := b.route(42, key, nil)
+		if !oka || !okb || ida != idb {
+			t.Fatalf("key %q: rebuilt ring routed %q/%v, want %q/%v", key, idb, okb, ida, oka)
+		}
+	}
+
+	// A different seed must yield a statistically different placement.
+	c := buildRing(43, 64, ids)
+	moved := 0
+	for _, key := range ringKeys(500) {
+		ida, _ := a.route(42, key, nil)
+		idc, _ := c.route(43, key, nil)
+		if ida != idc {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("seed change moved no keys: placements are not seed-dependent")
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	ids := []string{"alpha", "beta", "gamma", "delta"}
+	r := buildRing(7, 64, ids)
+	counts := map[string]int{}
+	for _, key := range ringKeys(2000) {
+		id, ok := r.route(7, key, nil)
+		if !ok {
+			t.Fatalf("key %q: no route", key)
+		}
+		counts[id]++
+	}
+	for _, id := range ids {
+		if counts[id] == 0 {
+			t.Fatalf("entry %q received no keys: %v", id, counts)
+		}
+	}
+}
+
+// TestRingRemovalStability pins the property the registry's rebalance-free
+// unregister relies on: removing one entry remaps only the keys that pointed
+// at its vnodes.
+func TestRingRemovalStability(t *testing.T) {
+	const seed = 11
+	full := buildRing(seed, 64, []string{"alpha", "beta", "gamma", "delta"})
+	without := buildRing(seed, 64, []string{"alpha", "beta", "delta"})
+	remapped := 0
+	for _, key := range ringKeys(2000) {
+		before, _ := full.route(seed, key, nil)
+		after, ok := without.route(seed, key, nil)
+		if !ok {
+			t.Fatalf("key %q: no route after removal", key)
+		}
+		if before == "gamma" {
+			remapped++
+			if after == "gamma" {
+				t.Fatalf("key %q still routes to the removed entry", key)
+			}
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %q moved %q -> %q although its entry survived", key, before, after)
+		}
+	}
+	if remapped == 0 {
+		t.Fatal("no key routed to the removed entry: the test saw no remapping at all")
+	}
+}
+
+func TestRingAcceptFilter(t *testing.T) {
+	r := buildRing(3, 64, []string{"alpha", "beta"})
+	for _, key := range ringKeys(100) {
+		id, ok := r.route(3, key, func(id string) bool { return id == "beta" })
+		if !ok || id != "beta" {
+			t.Fatalf("key %q: filtered route %q/%v, want beta", key, id, ok)
+		}
+	}
+	if id, ok := r.route(3, "anything", func(string) bool { return false }); ok {
+		t.Fatalf("all-rejecting filter routed to %q", id)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := buildRing(1, 64, nil)
+	if id, ok := r.route(1, "key", nil); ok {
+		t.Fatalf("empty ring routed to %q", id)
+	}
+}

@@ -93,8 +93,13 @@ func formatBound(b float64) string {
 	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
-// endpoints served, in stable exposition order.
-var endpointNames = []string{"predict", "predict_batch", "samples", "model", "lifecycle", "healthz", "metrics"}
+// endpoints served, in stable exposition order: the v1 family, the probes,
+// then the model-addressed v2 family.
+var endpointNames = []string{
+	"predict", "predict_batch", "samples", "model", "lifecycle", "healthz", "metrics",
+	"v2_models", "v2_register", "v2_unregister",
+	"v2_predict", "v2_predict_batch", "v2_samples", "v2_model",
+}
 
 // reqKey labels one requests_total series.
 type reqKey struct {
@@ -102,10 +107,20 @@ type reqKey struct {
 	code     int
 }
 
+// modelReqKey labels one model_requests_total series: the same counter as
+// requests_total, additionally split by the registry entry that served it
+// (v1 routes count against the reserved default entry).
+type modelReqKey struct {
+	model    string
+	endpoint string
+	code     int
+}
+
 // metrics aggregates everything GET /metrics exposes.
 type metrics struct {
-	mu       sync.Mutex
-	requests map[reqKey]uint64
+	mu            sync.Mutex
+	requests      map[reqKey]uint64
+	modelRequests map[modelReqKey]uint64
 
 	latency   map[string]*histogram // per endpoint
 	batchSize *histogram
@@ -116,14 +131,16 @@ type metrics struct {
 	updatesFailed   atomic.Uint64
 	reloads         atomic.Uint64
 	reloadErrors    atomic.Uint64
-	shedsTotal      atomic.Uint64 // predictions rejected on a full queue
+	shedsTotal      atomic.Uint64 // predictions rejected on a full shard queue
+	registrySheds   atomic.Uint64 // predictions rejected by the aggregate registry bound
 }
 
 func newMetrics() *metrics {
 	m := &metrics{
-		requests:  make(map[reqKey]uint64),
-		latency:   make(map[string]*histogram, len(endpointNames)),
-		batchSize: newHistogram(batchBuckets),
+		requests:      make(map[reqKey]uint64),
+		modelRequests: make(map[modelReqKey]uint64),
+		latency:       make(map[string]*histogram, len(endpointNames)),
+		batchSize:     newHistogram(batchBuckets),
 	}
 	for _, e := range endpointNames {
 		m.latency[e] = newHistogram(latencyBuckets)
@@ -139,6 +156,13 @@ func (m *metrics) observeRequest(endpoint string, code int, seconds float64) {
 	if h, ok := m.latency[endpoint]; ok {
 		h.observe(seconds)
 	}
+}
+
+// observeModelRequest records one completed model-addressed request.
+func (m *metrics) observeModelRequest(model, endpoint string, code int) {
+	m.mu.Lock()
+	m.modelRequests[modelReqKey{model, endpoint, code}]++
+	m.mu.Unlock()
 }
 
 // observeBatch records the size of one coalesced evaluator pass.
@@ -164,7 +188,26 @@ type snapshotState struct {
 // the loop is disabled and its section is omitted.
 type lifecycleState = lifecycle.Status
 
-func (m *metrics) writeTo(w io.Writer, snap snapshotState, lc *lifecycleState) {
+// modelScrape is one registry entry's scrape-time state.
+type modelScrape struct {
+	id          string
+	trained     bool
+	version     uint64
+	samples     int
+	trainedRows int
+	queued      int
+	evalCache   bool
+}
+
+// registryScrape carries the registry's scrape-time state; nil omits the
+// per-model section (unit tests driving writeTo directly).
+type registryScrape struct {
+	depth  int
+	bound  int
+	models []modelScrape
+}
+
+func (m *metrics) writeTo(w io.Writer, snap snapshotState, lc *lifecycleState, reg *registryScrape) {
 	io.WriteString(w, "# HELP hsserve_requests_total HTTP requests served, by endpoint and status code.\n")
 	io.WriteString(w, "# TYPE hsserve_requests_total counter\n")
 	m.mu.Lock()
@@ -236,6 +279,10 @@ func (m *metrics) writeTo(w io.Writer, snap snapshotState, lc *lifecycleState) {
 	io.WriteString(w, "# TYPE hsserve_sheds_total counter\n")
 	fmt.Fprintf(w, "hsserve_sheds_total %d\n", m.shedsTotal.Load())
 
+	if reg != nil {
+		m.writeRegistry(w, reg)
+	}
+
 	if lc == nil {
 		return
 	}
@@ -272,4 +319,87 @@ func (m *metrics) writeTo(w io.Writer, snap snapshotState, lc *lifecycleState) {
 	io.WriteString(w, "# TYPE hsserve_lifecycle_canary_err gauge\n")
 	fmt.Fprintf(w, "hsserve_lifecycle_canary_err{model=\"candidate\"} %g\n", lc.CanaryErr)
 	fmt.Fprintf(w, "hsserve_lifecycle_canary_err{model=\"incumbent\"} %g\n", lc.IncumbentErr)
+}
+
+// writeRegistry renders the multi-model section: registry-wide load state
+// plus one series per entry per gauge, labeled by model id.
+func (m *metrics) writeRegistry(w io.Writer, reg *registryScrape) {
+	io.WriteString(w, "# HELP hsserve_registry_models Registered model entries.\n")
+	io.WriteString(w, "# TYPE hsserve_registry_models gauge\n")
+	fmt.Fprintf(w, "hsserve_registry_models %d\n", len(reg.models))
+	io.WriteString(w, "# HELP hsserve_registry_queue_depth Aggregate queued predictions across every entry's batcher.\n")
+	io.WriteString(w, "# TYPE hsserve_registry_queue_depth gauge\n")
+	fmt.Fprintf(w, "hsserve_registry_queue_depth %d\n", reg.depth)
+	io.WriteString(w, "# HELP hsserve_registry_queue_bound Aggregate shed threshold (0 = disabled).\n")
+	io.WriteString(w, "# TYPE hsserve_registry_queue_bound gauge\n")
+	fmt.Fprintf(w, "hsserve_registry_queue_bound %d\n", reg.bound)
+	io.WriteString(w, "# HELP hsserve_registry_sheds_total Predictions rejected by the aggregate registry bound (HTTP 429).\n")
+	io.WriteString(w, "# TYPE hsserve_registry_sheds_total counter\n")
+	fmt.Fprintf(w, "hsserve_registry_sheds_total %d\n", m.registrySheds.Load())
+
+	io.WriteString(w, "# HELP hsserve_registry_model_trained Whether the entry serves a model (1) or not (0), by model.\n")
+	io.WriteString(w, "# TYPE hsserve_registry_model_trained gauge\n")
+	for _, e := range reg.models {
+		v := 0
+		if e.trained {
+			v = 1
+		}
+		fmt.Fprintf(w, "hsserve_registry_model_trained{model=%q} %d\n", e.id, v)
+	}
+	io.WriteString(w, "# HELP hsserve_registry_model_snapshot_version Snapshot publications observed, by model.\n")
+	io.WriteString(w, "# TYPE hsserve_registry_model_snapshot_version gauge\n")
+	for _, e := range reg.models {
+		fmt.Fprintf(w, "hsserve_registry_model_snapshot_version{model=%q} %d\n", e.id, e.version)
+	}
+	io.WriteString(w, "# HELP hsserve_registry_model_samples Profile-store size, by model.\n")
+	io.WriteString(w, "# TYPE hsserve_registry_model_samples gauge\n")
+	for _, e := range reg.models {
+		fmt.Fprintf(w, "hsserve_registry_model_samples{model=%q} %d\n", e.id, e.samples)
+	}
+	io.WriteString(w, "# HELP hsserve_registry_model_trained_rows Rows the served snapshot was trained on, by model.\n")
+	io.WriteString(w, "# TYPE hsserve_registry_model_trained_rows gauge\n")
+	for _, e := range reg.models {
+		fmt.Fprintf(w, "hsserve_registry_model_trained_rows{model=%q} %d\n", e.id, e.trainedRows)
+	}
+	io.WriteString(w, "# HELP hsserve_registry_model_queue_depth Queued predictions, by model.\n")
+	io.WriteString(w, "# TYPE hsserve_registry_model_queue_depth gauge\n")
+	for _, e := range reg.models {
+		fmt.Fprintf(w, "hsserve_registry_model_queue_depth{model=%q} %d\n", e.id, e.queued)
+	}
+	io.WriteString(w, "# HELP hsserve_registry_model_eval_cache Whether the entry holds its featurized evaluator cache (LRU-bounded), by model.\n")
+	io.WriteString(w, "# TYPE hsserve_registry_model_eval_cache gauge\n")
+	for _, e := range reg.models {
+		v := 0
+		if e.evalCache {
+			v = 1
+		}
+		fmt.Fprintf(w, "hsserve_registry_model_eval_cache{model=%q} %d\n", e.id, v)
+	}
+
+	m.mu.Lock()
+	keys := make([]modelReqKey, 0, len(m.modelRequests))
+	counts := make(map[modelReqKey]uint64, len(m.modelRequests))
+	for k, v := range m.modelRequests {
+		keys = append(keys, k)
+		counts[k] = v
+	}
+	m.mu.Unlock()
+	if len(keys) == 0 {
+		return
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].model != keys[j].model {
+			return keys[i].model < keys[j].model
+		}
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	io.WriteString(w, "# HELP hsserve_model_requests_total HTTP requests served, by model, endpoint, and status code.\n")
+	io.WriteString(w, "# TYPE hsserve_model_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "hsserve_model_requests_total{model=%q,endpoint=%q,code=\"%d\"} %d\n",
+			k.model, k.endpoint, k.code, counts[k])
+	}
 }

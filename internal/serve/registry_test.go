@@ -1,0 +1,345 @@
+// Tests for the multi-model surface of the server: the v2 route family, its
+// parity with the v1 aliases, manifest persistence, and the registry metrics.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hsmodel/pkg/hsmodel"
+)
+
+// doJSON runs one request with an arbitrary method and decodes nothing.
+func doJSON(t testing.TB, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestV1V2Parity pins the aliasing contract: the model-addressed
+// /v2/models/default routes answer bit-identical predictions to the legacy
+// /v1 routes, and the v1 bodies are byte-identical to the wire schema's
+// canonical encoding (no new field may leak into them).
+func TestV1V2Parity(t *testing.T) {
+	tr := newTestTrainer(t)
+	_, ts := newTestServer(t, Config{Trainer: tr})
+	_, valid := testData(t)
+
+	for i, v := range valid[:8] {
+		hw := v.HW
+		req := hsmodel.PredictRequest{X: v.X[:], Config: &hw}
+		resp1, body1 := postJSON(t, ts.URL+"/v1/predict", req)
+		resp2, body2 := postJSON(t, ts.URL+"/v2/models/default/predict", req)
+		if resp1.StatusCode != http.StatusOK || resp2.StatusCode != http.StatusOK {
+			t.Fatalf("sample %d: status v1 %d, v2 %d", i, resp1.StatusCode, resp2.StatusCode)
+		}
+		if !bytes.Equal(body1, body2) {
+			t.Fatalf("sample %d: v1 body %s != v2 body %s", i, body1, body2)
+		}
+		var pr hsmodel.PredictResponse
+		if err := json.Unmarshal(body1, &pr); err != nil {
+			t.Fatal(err)
+		}
+		want, err := tr.Snapshot().PredictShard(v.X, v.HW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(pr.CPI) != math.Float64bits(want) {
+			t.Fatalf("sample %d: served %v, snapshot %v", i, pr.CPI, want)
+		}
+
+		// v1 bodies are the canonical wire encoding: exactly what a
+		// single-model server emitted before the registry existed.
+		canon, err := json.Marshal(hsmodel.PredictResponse{CPI: want, Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(body1) != string(canon)+"\n" {
+			t.Fatalf("sample %d: v1 body %q is not the canonical encoding %q", i, body1, canon)
+		}
+	}
+
+	// Batch parity.
+	var batch hsmodel.BatchPredictRequest
+	for _, v := range valid[:8] {
+		hw := v.HW
+		batch.Requests = append(batch.Requests, hsmodel.PredictRequest{X: v.X[:], Config: &hw})
+	}
+	_, b1 := postJSON(t, ts.URL+"/v1/predict:batch", batch)
+	_, b2 := postJSON(t, ts.URL+"/v2/models/default/predict:batch", batch)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("batch bodies differ: %s vs %s", b1, b2)
+	}
+
+	// Model info parity: v2 additionally stamps the address fields, and ONLY
+	// those.
+	_, m1 := getBody(t, ts.URL+"/v1/model")
+	_, m2 := getBody(t, ts.URL+"/v2/models/default/model")
+	var i1, i2 hsmodel.ModelInfo
+	if err := json.Unmarshal(m1, &i1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(m2, &i2); err != nil {
+		t.Fatal(err)
+	}
+	if i1.Model != "" || i1.Application != "" || i1.ArchSpace != "" {
+		t.Fatalf("v1 model body leaked address fields: %s", m1)
+	}
+	if i2.Model != "default" || i2.ArchSpace == "" {
+		t.Fatalf("v2 model body missing address fields: %s", m2)
+	}
+	i2.Model, i2.Application, i2.ArchSpace = "", "", ""
+	i1.SnapshotAgeSec, i2.SnapshotAgeSec = 0, 0 // scrape-time jitter
+	j1, _ := json.Marshal(i1)
+	j2, _ := json.Marshal(i2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("model info differs beyond the address fields:\nv1 %s\nv2 %s", j1, j2)
+	}
+}
+
+// TestV1DeprecationHeaders: every v1 answer carries the successor pointer;
+// the body stays untouched (covered by TestV1V2Parity).
+func TestV1DeprecationHeaders(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := getBody(t, ts.URL+"/v1/model")
+	if got := resp.Header.Get("Deprecation"); got != `version="v1"` {
+		t.Fatalf("Deprecation header %q", got)
+	}
+	if got := resp.Header.Get("Link"); !strings.Contains(got, "/v2/models/default") {
+		t.Fatalf("Link header %q does not name the successor route", got)
+	}
+	resp2, _ := getBody(t, ts.URL+"/v2/models/default/model")
+	if resp2.Header.Get("Deprecation") != "" {
+		t.Fatal("v2 route carries a deprecation header")
+	}
+}
+
+// TestV1SamplesFanOut: one POST /v1/samples advances every matching entry.
+func TestV1SamplesFanOut(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	for _, req := range []hsmodel.RegisterRequest{
+		{ID: "m-bzip2", Application: "bzip2"},
+		{ID: "m-all"},
+	} {
+		if resp, body := postJSON(t, ts.URL+"/v2/models", req); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register %q: status %d: %s", req.ID, resp.StatusCode, body)
+		}
+	}
+	_, valid := testData(t)
+	var sreq hsmodel.SamplesRequest
+	perApp := map[string]int{}
+	for _, v := range valid {
+		sreq.Samples = append(sreq.Samples, hsmodel.SampleToWire(v))
+		perApp[v.App]++
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/samples", sreq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("samples: status %d: %s", resp.StatusCode, body)
+	}
+	var sr hsmodel.SamplesResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Accepted != len(valid) {
+		t.Fatalf("accepted %d, want %d", sr.Accepted, len(valid))
+	}
+	if sr.Models != nil {
+		t.Fatalf("v1 samples body leaked the fan-out listing: %s", body)
+	}
+	base := len(trainStore) // the default entry's bootstrap store
+	for id, want := range map[string]int{
+		"default": base + len(valid),
+		"m-bzip2": perApp["bzip2"],
+		"m-all":   len(valid),
+	} {
+		e, ok := s.Registry().Get(id)
+		if !ok {
+			t.Fatalf("entry %q missing", id)
+		}
+		if got := e.Trainer().NumSamples(); got != want {
+			t.Fatalf("entry %q: %d samples, want %d", id, got, want)
+		}
+	}
+
+	// The addressed route feeds only its entry; fan_out restores the v1
+	// semantics and lists the touched models.
+	one := hsmodel.SamplesRequest{Samples: sreq.Samples[:1], FanOut: true}
+	resp, body = postJSON(t, ts.URL+"/v2/models/m-bzip2/samples", one)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 samples: status %d: %s", resp.StatusCode, body)
+	}
+	var sr2 hsmodel.SamplesResponse
+	if err := json.Unmarshal(body, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr2.Models) == 0 {
+		t.Fatalf("fan_out response listed no models: %s", body)
+	}
+}
+
+// TestRegisterUnregisterHTTP drives the fleet over the wire and asserts the
+// manifest file tracks it.
+func TestRegisterUnregisterHTTP(t *testing.T) {
+	manifest := filepath.Join(t.TempDir(), "fleet.json")
+	_, ts := newTestServer(t, Config{ManifestPath: manifest})
+
+	// Reserved and malformed registrations are refused.
+	if resp, _ := postJSON(t, ts.URL+"/v2/models", hsmodel.RegisterRequest{ID: "default"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("registering the reserved id: status %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v2/models", hsmodel.RegisterRequest{}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("registering an empty id: status %d", resp.StatusCode)
+	}
+
+	reg := hsmodel.RegisterRequest{ID: "m-live", Application: "bzip2", Seed: 5}
+	resp, body := postJSON(t, ts.URL+"/v2/models", reg)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d: %s", resp.StatusCode, body)
+	}
+	var st hsmodel.ModelStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "m-live" || st.Application != "bzip2" || st.Trained {
+		t.Fatalf("register status %+v", st)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v2/models", reg); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate register: status %d, want 409", resp.StatusCode)
+	}
+
+	// The manifest persisted the entry (default excluded).
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man hsmodel.Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Models) != 1 || man.Models[0].ID != "m-live" {
+		t.Fatalf("manifest %s", data)
+	}
+
+	// Listing shows both entries and names the default.
+	_, body = getBody(t, ts.URL+"/v2/models")
+	var listing hsmodel.RegistryStatus
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Models) != 2 || listing.Default != "default" {
+		t.Fatalf("listing %s", body)
+	}
+
+	// Unregister drains and the manifest empties; the default is protected.
+	if resp, _ := doJSON(t, http.MethodDelete, ts.URL+"/v2/models/default", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unregistering the default: status %d", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, http.MethodDelete, ts.URL+"/v2/models/m-live", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("unregister: status %d", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, http.MethodDelete, ts.URL+"/v2/models/m-live", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double unregister: status %d", resp.StatusCode)
+	}
+	data, err = os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man = hsmodel.Manifest{}
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Models) != 0 {
+		t.Fatalf("manifest after unregister: %s", data)
+	}
+}
+
+// TestManifestBoot: a server constructed over a manifest registers its
+// entries; a manifest naming the reserved entry refuses to boot.
+func TestManifestBoot(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "fleet.json")
+	man := hsmodel.Manifest{Models: []hsmodel.RegisterRequest{
+		{ID: "m-a", Application: "bzip2"},
+		{ID: "m-b"},
+	}}
+	data, _ := json.Marshal(man)
+	if err := os.WriteFile(manifest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := newTestServer(t, Config{ManifestPath: manifest})
+	if got := s.Registry().Len(); got != 3 {
+		t.Fatalf("booted with %d entries, want 3", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	data, _ = json.Marshal(hsmodel.Manifest{Models: []hsmodel.RegisterRequest{{ID: "default"}}})
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Trainer: newTestTrainer(t), ManifestPath: bad}); err == nil {
+		t.Fatal("manifest naming the reserved entry booted")
+	}
+}
+
+// TestV2UnknownModel: addressing a model that does not exist answers 404
+// with the wire error body.
+func TestV2UnknownModel(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := getBody(t, ts.URL+"/v2/models/nonesuch/model")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var er hsmodel.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		t.Fatalf("error body %s (%v)", body, err)
+	}
+}
+
+// TestRegistryMetricsPage: the scrape carries the registry-wide and
+// per-model series.
+func TestRegistryMetricsPage(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if resp, body := postJSON(t, ts.URL+"/v2/models", hsmodel.RegisterRequest{ID: "m-x", Application: "bzip2"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	_, _ = getBody(t, ts.URL+"/v2/models/m-x/model")
+	_, page := getBody(t, ts.URL+"/metrics")
+	for _, marker := range []string{
+		"hsserve_registry_models 2",
+		`hsserve_registry_model_trained{model="default"} 1`,
+		`hsserve_registry_model_trained{model="m-x"} 0`,
+		fmt.Sprintf(`hsserve_registry_model_samples{model="default"} %d`, len(trainStore)),
+		`hsserve_registry_queue_depth 0`,
+		`hsserve_model_requests_total{model="m-x",endpoint="v2_model",code="200"} 1`,
+	} {
+		if !strings.Contains(string(page), marker) {
+			t.Fatalf("metrics page missing %q", marker)
+		}
+	}
+}

@@ -81,6 +81,11 @@ type SamplesRequest struct {
 	// samples are absorbed. A failed re-specification never replaces the
 	// served snapshot.
 	Update bool `json:"update,omitempty"`
+	// FanOut, on a model-addressed /v2/models/{id}/samples POST, asks the
+	// server to fan the samples out to every registered model whose
+	// application scope matches each sample (the /v1/samples behavior)
+	// instead of feeding only the addressed model.
+	FanOut bool `json:"fan_out,omitempty"`
 }
 
 // SamplesResponse acknowledges absorbed profiles.
@@ -88,11 +93,22 @@ type SamplesResponse struct {
 	Accepted      int  `json:"accepted"`
 	TotalSamples  int  `json:"total_samples"`
 	UpdateStarted bool `json:"update_started"`
+	// Models lists the registered models the samples fanned out to, sorted;
+	// set only on fan-out responses (/v2 with fan_out), never on /v1.
+	Models []string `json:"models,omitempty"`
 }
 
 // ModelInfo describes the currently served snapshot and its provenance.
 type ModelInfo struct {
-	Trained bool `json:"trained"`
+	// Model is the registry id the info describes; set only on the
+	// model-addressed /v2 route, never on /v1 (whose body stays bit-identical
+	// to the single-model server).
+	Model string `json:"model,omitempty"`
+	// Application is the entry's application scope ("" = every application);
+	// ArchSpace names its architecture space. /v2 only, like Model.
+	Application string `json:"application,omitempty"`
+	ArchSpace   string `json:"arch_space,omitempty"`
+	Trained     bool   `json:"trained"`
 	// Family names the model family serving predictions ("spline",
 	// "residual", "dal"); FamilyScores carries the per-family CV MedAPE of
 	// the selection round that chose it, when one ran.
@@ -123,6 +139,96 @@ type ModelInfo struct {
 // failures, whose typed ErrModel* messages pass through verbatim.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// DefaultModelID is the reserved registry entry every legacy /v1/* route
+// aliases: the single-model server's trainer lives there, so v1 responses
+// stay bit-identical while /v2/models/default addresses the same model
+// explicitly. The id cannot be registered or unregistered over the wire.
+const DefaultModelID = "default"
+
+// LifecycleWire is the wire form of a per-model continuous-learning
+// configuration: the common knobs, with zero values taking the loop's
+// documented defaults.
+type LifecycleWire struct {
+	// DriftThreshold is the CUSUM mass that trips the drift detector.
+	DriftThreshold float64 `json:"drift_threshold,omitempty"`
+	// MinProfiles is how many fresh post-drift profiles gather before a
+	// shadow retrain starts.
+	MinProfiles int `json:"min_profiles,omitempty"`
+	// CanaryTolerance is the candidate's relative slack on the canary set.
+	CanaryTolerance float64 `json:"canary_tolerance,omitempty"`
+	// Seed determinizes every loop decision.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// RegisterRequest declares one model entry: the body of POST /v2/models and
+// one element of the hsserve -models manifest — the same schema in both
+// places, so a manifest entry can be replayed against a live server
+// unchanged.
+type RegisterRequest struct {
+	// ID is the registry key (required; "default" is reserved).
+	ID string `json:"id"`
+	// Application scopes sample fan-out to one application's profiles;
+	// empty absorbs every application.
+	Application string `json:"application,omitempty"`
+	// ArchSpace names the architecture space (default "table2").
+	ArchSpace string `json:"arch_space,omitempty"`
+	// ModelPath optionally names a persisted snapshot served from
+	// registration time.
+	ModelPath string `json:"model_path,omitempty"`
+	// Families lists model families for per-entry selection rounds.
+	Families []string `json:"families,omitempty"`
+	// Seed determinizes the entry's search and splits.
+	Seed uint64 `json:"seed,omitempty"`
+	// ShardLen is recorded in published snapshots.
+	ShardLen int `json:"shard_len,omitempty"`
+	// Population / Generations bound the entry's genetic search.
+	Population  int `json:"population,omitempty"`
+	Generations int `json:"generations,omitempty"`
+	// Lifecycle, when non-nil, attaches a continuous-learning loop.
+	Lifecycle *LifecycleWire `json:"lifecycle,omitempty"`
+}
+
+// Manifest is the hsserve -models file: the set of model entries a server
+// registers at boot and rewrites after every successful wire
+// register/unregister (the reserved default entry is never persisted).
+type Manifest struct {
+	Models []RegisterRequest `json:"models"`
+}
+
+// ModelStatus summarizes one registry entry in GET /v2/models.
+type ModelStatus struct {
+	ID          string `json:"id"`
+	Application string `json:"application,omitempty"`
+	ArchSpace   string `json:"arch_space"`
+	Trained     bool   `json:"trained"`
+	Family      string `json:"family,omitempty"`
+	Rung        string `json:"rung,omitempty"`
+	TrainedRows int    `json:"trained_rows,omitempty"`
+	// TotalSamples counts the entry's profile store, including rows not yet
+	// trained on.
+	TotalSamples    int    `json:"total_samples"`
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	// QueueDepth is the entry's queued predictions at scrape time.
+	QueueDepth int `json:"queue_depth"`
+	// Lifecycle is the control-loop state ("stable", "retraining", ...);
+	// empty when the loop is disabled.
+	Lifecycle string   `json:"lifecycle,omitempty"`
+	ModelPath string   `json:"model_path,omitempty"`
+	Families  []string `json:"families,omitempty"`
+}
+
+// RegistryStatus is the body of GET /v2/models: every entry plus the
+// registry-wide load state.
+type RegistryStatus struct {
+	Models []ModelStatus `json:"models"`
+	// QueueDepth is the aggregate queued predictions across entries;
+	// QueueBound is the shed threshold (0 = aggregate bound disabled).
+	QueueDepth int `json:"queue_depth"`
+	QueueBound int `json:"queue_bound,omitempty"`
+	// Default is the reserved entry id the /v1 routes alias.
+	Default string `json:"default"`
 }
 
 // ConfigFromArch validates Table 2 level indices from the wire and expands
