@@ -12,6 +12,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Diagnostic is one finding, located and attributed to a check.
@@ -19,10 +20,30 @@ type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// Fixes are machine-applicable rewrites that resolve the finding.
+	// hslint -fix applies them (see fix.go); text/SARIF output ignores them.
+	Fixes []SuggestedFix
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Check)
+}
+
+// SuggestedFix is one coherent rewrite: all of its edits apply together or
+// not at all.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// TextEdit replaces the byte range [Start, End) of File with New. Offsets
+// are byte offsets into the file as loaded; File is the absolute path from
+// the token.FileSet.
+type TextEdit struct {
+	File  string
+	Start int
+	End   int
+	New   string
 }
 
 // Analyzer is one named invariant check.
@@ -41,6 +62,7 @@ type Pass struct {
 	Files    []*ast.File
 	Info     *types.Info
 
+	pkg    *Package // back-reference for shared per-package state (summaries)
 	report func(Diagnostic)
 }
 
@@ -52,6 +74,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Message: fmt.Sprintf(format, args...),
 	})
 }
+
+// ReportFix records a diagnostic at pos carrying suggested fixes.
+func (p *Pass) ReportFix(pos token.Pos, msg string, fixes ...SuggestedFix) {
+	p.report(Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: msg,
+		Fixes:   fixes,
+	})
+}
+
+// Offset returns the byte offset of pos within its file, for TextEdits.
+func (p *Pass) Offset(pos token.Pos) int { return p.Fset.Position(pos).Offset }
 
 // TypeOf returns the type of e, or nil.
 func (p *Pass) TypeOf(e ast.Expr) types.Type {
@@ -76,20 +111,26 @@ func All() []*Analyzer {
 		FloatEq,
 		CtxFlow,
 		HotAlloc,
+		GoroLife,
+		AtomicPub,
+		BoundedGrowth,
 	}
 }
 
-// byName resolves a set of analyzer names; unknown names are reported.
+// byName resolves a set of analyzer names; unknown names are reported along
+// with the full set of known check names.
 func byName(names []string) ([]*Analyzer, error) {
 	index := make(map[string]*Analyzer)
+	var known []string
 	for _, a := range All() {
 		index[a.Name] = a
+		known = append(known, a.Name)
 	}
 	var out []*Analyzer
 	for _, n := range names {
 		a, ok := index[n]
 		if !ok {
-			return nil, fmt.Errorf("unknown check %q", n)
+			return nil, fmt.Errorf("unknown check %q (available: %s)", n, strings.Join(known, ", "))
 		}
 		out = append(out, a)
 	}
@@ -119,6 +160,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				PkgName:  pkg.Name,
 				Files:    pkg.Files,
 				Info:     pkg.Info,
+				pkg:      pkg,
 				report:   func(d Diagnostic) { pkgDiags = append(pkgDiags, d) },
 			}
 			a.Run(pass)

@@ -1,0 +1,165 @@
+// The -fix engine: applies the SuggestedFixes carried by diagnostics.
+//
+// Edits are byte-range replacements keyed by file. Application is
+// conservative: within one file, edits are sorted by start offset and any
+// edit overlapping an already-accepted one is dropped along with its whole
+// SuggestedFix (a fix applies atomically or not at all). Descending-offset
+// application keeps earlier offsets valid without bookkeeping.
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// FixResult describes what ApplyFixes did to one file.
+type FixResult struct {
+	File    string
+	Applied int    // fixes applied
+	Skipped int    // fixes dropped due to overlap
+	Old     []byte // original content
+	New     []byte // rewritten content
+}
+
+// ApplyFixes collects every fix on diags, applies them per file, and returns
+// the per-file results in stable order. When write is true the rewritten
+// content is saved back to disk; otherwise the caller renders diffs.
+func ApplyFixes(diags []Diagnostic, write bool) ([]FixResult, error) {
+	type fix struct {
+		edits []TextEdit
+	}
+	byFile := make(map[string][]fix) // keyed by the file of the first edit
+	for _, d := range diags {
+		for _, sf := range d.Fixes {
+			if len(sf.Edits) == 0 {
+				continue
+			}
+			byFile[sf.Edits[0].File] = append(byFile[sf.Edits[0].File], fix{edits: sf.Edits})
+		}
+	}
+
+	var files []string
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	var results []FixResult
+	for _, file := range files {
+		content, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("applying fixes: %w", err)
+		}
+		res := FixResult{File: file, Old: content}
+
+		// Accept fixes greedily in offset order; a fix with any edit that
+		// overlaps an accepted edit (or falls outside the file) is skipped.
+		fixes := byFile[file]
+		sort.SliceStable(fixes, func(i, j int) bool {
+			return fixes[i].edits[0].Start < fixes[j].edits[0].Start
+		})
+		var accepted []TextEdit
+		overlaps := func(e TextEdit) bool {
+			if e.Start < 0 || e.End < e.Start || e.End > len(content) {
+				return true
+			}
+			for _, a := range accepted {
+				if a.File == e.File && e.Start < a.End && a.Start < e.End {
+					// Pure insertions at the same point stack fine; anything
+					// else is a conflict.
+					if !(e.Start == e.End && a.Start == a.End) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		dupInsert := func(e TextEdit) bool {
+			for _, a := range accepted {
+				if a == e && e.Start == e.End {
+					return true
+				}
+			}
+			return false
+		}
+		for _, fx := range fixes {
+			bad := false
+			var add []TextEdit
+			for _, e := range fx.edits {
+				if e.File != file || overlaps(e) {
+					bad = true
+					break
+				}
+				// Identical insertions collapse: two fixes adding the same
+				// import must not stack it twice.
+				if dupInsert(e) {
+					continue
+				}
+				add = append(add, e)
+			}
+			if bad {
+				res.Skipped++
+				continue
+			}
+			accepted = append(accepted, add...)
+			res.Applied++
+		}
+
+		// Apply in descending start order so earlier offsets stay valid.
+		sort.SliceStable(accepted, func(i, j int) bool {
+			return accepted[i].Start > accepted[j].Start
+		})
+		// Copy before editing: the append-splices below would otherwise
+		// scribble over res.Old through the shared backing array.
+		out := append([]byte(nil), content...)
+		for _, e := range accepted {
+			out = append(out[:e.Start], append([]byte(e.New), out[e.End:]...)...)
+		}
+		res.New = out
+
+		if write && res.Applied > 0 {
+			info, err := os.Stat(file)
+			mode := os.FileMode(0o644)
+			if err == nil {
+				mode = info.Mode()
+			}
+			if err := os.WriteFile(file, out, mode); err != nil {
+				return nil, fmt.Errorf("applying fixes: %w", err)
+			}
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// Diff renders a minimal unified-style diff of one FixResult for the -fix
+// -diff dry run.
+func Diff(r FixResult) string {
+	oldLines := strings.Split(string(r.Old), "\n")
+	newLines := strings.Split(string(r.New), "\n")
+
+	// Trim common prefix and suffix; the middle is the hunk.
+	pre := 0
+	for pre < len(oldLines) && pre < len(newLines) && oldLines[pre] == newLines[pre] {
+		pre++
+	}
+	post := 0
+	for post < len(oldLines)-pre && post < len(newLines)-pre &&
+		oldLines[len(oldLines)-1-post] == newLines[len(newLines)-1-post] {
+		post++
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- %s\n+++ %s\n", r.File, r.File)
+	fmt.Fprintf(&b, "@@ -%d,%d +%d,%d @@\n",
+		pre+1, len(oldLines)-pre-post, pre+1, len(newLines)-pre-post)
+	for _, l := range oldLines[pre : len(oldLines)-post] {
+		b.WriteString("-" + l + "\n")
+	}
+	for _, l := range newLines[pre : len(newLines)-post] {
+		b.WriteString("+" + l + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixFixture is a self-contained package with every errcmp bug class that
+// carries a SuggestedFix: a == sentinel comparison, a != comparison (both
+// need the "errors" import inserted — exactly once), and a %v wrap.
+const fixFixture = `package fixme
+
+import (
+	"fmt"
+)
+
+var ErrBoom = fmt.Errorf("boom")
+
+func Classify(err error) string {
+	if err == ErrBoom {
+		return "boom"
+	}
+	if err != ErrBoom {
+		return fmt.Errorf("classify: %v", err).Error()
+	}
+	return ""
+}
+`
+
+func loadFixFixture(t *testing.T, dir string) []*Package {
+	t.Helper()
+	pkgs, err := NewLoader(moduleRoot(t)).LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return pkgs
+}
+
+// TestApplyFixesRoundTrip pins the full -fix contract: the dry run leaves the
+// tree untouched and renders a diff; the write pass rewrites the file so that
+// it still type-checks cleanly and errcmp comes back empty.
+func TestApplyFixesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixme.go")
+	if err := os.WriteFile(path, []byte(fixFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := Run(loadFixFixture(t, dir), []*Analyzer{ErrCmp})
+	if len(diags) != 3 {
+		t.Fatalf("errcmp diagnostics = %d, want 3 (==, !=, %%v):\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			t.Fatalf("diagnostic carries no fix: %s", d)
+		}
+	}
+
+	// Dry run: diff renders, disk is untouched.
+	results, err := ApplyFixes(diags, false)
+	if err != nil {
+		t.Fatalf("ApplyFixes(dry): %v", err)
+	}
+	if len(results) != 1 || results[0].Applied != 3 || results[0].Skipped != 0 {
+		t.Fatalf("dry run results = %+v, want one file with 3 applied, 0 skipped", results)
+	}
+	diff := Diff(results[0])
+	for _, want := range []string{"--- " + path, "-\tif err == ErrBoom {", "+\tif errors.Is(err, ErrBoom) {"} {
+		if !strings.Contains(diff, want) {
+			t.Errorf("diff missing %q:\n%s", want, diff)
+		}
+	}
+	if got, err := os.ReadFile(path); err != nil || string(got) != fixFixture {
+		t.Fatalf("dry run modified the file (err=%v)", err)
+	}
+
+	// Write pass: the rewritten file must load cleanly and lint clean.
+	if _, err := ApplyFixes(diags, true); err != nil {
+		t.Fatalf("ApplyFixes(write): %v", err)
+	}
+	fixed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(fixed)
+	for _, want := range []string{"errors.Is(err, ErrBoom)", "!errors.Is(err, ErrBoom)", "classify: %w", "\"errors\""} {
+		if !strings.Contains(src, want) {
+			t.Errorf("fixed source missing %q:\n%s", want, src)
+		}
+	}
+	if strings.Count(src, "\"errors\"") != 1 {
+		t.Errorf("errors import inserted %d times, want exactly once:\n%s",
+			strings.Count(src, "\"errors\""), src)
+	}
+
+	pkgs := loadFixFixture(t, dir)
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Fatalf("fixed source does not type-check: %v\n%s", p.TypeErrors, src)
+		}
+	}
+	if diags := Run(pkgs, []*Analyzer{ErrCmp}); len(diags) != 0 {
+		t.Fatalf("errcmp still fires after -fix:\n%v", diags)
+	}
+}
+
+// TestApplyFixesRejectsOverlap pins the atomicity rule: a fix whose edits
+// overlap an accepted fix is dropped whole, and the survivor still applies.
+func TestApplyFixesRejectsOverlap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "o.go")
+	if err := os.WriteFile(path, []byte("abcdef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		{Fixes: []SuggestedFix{{Message: "first", Edits: []TextEdit{{File: path, Start: 0, End: 3, New: "XYZ"}}}}},
+		{Fixes: []SuggestedFix{{
+			Message: "second",
+			Edits: []TextEdit{
+				{File: path, Start: 5, End: 6, New: "Q"},
+				{File: path, Start: 2, End: 4, New: "!!"}, // overlaps the first fix
+			},
+		}}},
+	}
+	results, err := ApplyFixes(diags, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Applied != 1 || results[0].Skipped != 1 {
+		t.Fatalf("results = %+v, want 1 applied and 1 skipped", results)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "XYZdef" {
+		t.Fatalf("content = %q, want %q (overlapping fix must not partially apply)", got, "XYZdef")
+	}
+}

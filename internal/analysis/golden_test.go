@@ -37,6 +37,18 @@ func TestHotAllocGolden(t *testing.T) {
 	runGolden(t, filepath.Join("testdata", "hotalloc"), HotAlloc)
 }
 
+func TestGoroLifeGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "gorolife"), GoroLife)
+}
+
+func TestAtomicPubGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "atomicpub"), AtomicPub)
+}
+
+func TestBoundedGrowthGolden(t *testing.T) {
+	runGolden(t, filepath.Join("testdata", "boundedgrowth"), BoundedGrowth)
+}
+
 // TestMisuseCorpusGolden reuses faultinject's misuse corpus under the full
 // analyzer set: every planted bug must be reported, and nothing else.
 func TestMisuseCorpusGolden(t *testing.T) {

@@ -35,6 +35,12 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+
+	// TypeErrors holds type-checker errors tolerated in loose mode (LoadDir
+	// over fixture trees); empty for strictly checked packages.
+	TypeErrors []error
+
+	summary *PkgSummary // lazily built interprocedural summary, see interproc.go
 }
 
 // listedPackage mirrors the `go list -json` fields the loader consumes.
@@ -164,10 +170,15 @@ func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
 	return files, nil
 }
 
-// check type-checks one group of files as package pkgPath.
-func (l *Loader) check(pkgPath, name string, files []*ast.File) (*Package, error) {
+// check type-checks one group of files as package pkgPath. In loose mode
+// type errors are collected on the package instead of failing the load, so
+// fixture trees with deliberately broken imports still yield (partial)
+// syntax and type information.
+func (l *Loader) check(pkgPath, name string, files []*ast.File, loose bool) (*Package, error) {
 	if err := l.resolveImports(files); err != nil {
-		return nil, err
+		if !loose {
+			return nil, err
+		}
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -179,17 +190,22 @@ func (l *Loader) check(pkgPath, name string, files []*ast.File) (*Package, error
 		Instances:  make(map[*ast.Ident]types.Instance),
 	}
 	cfg := &types.Config{Importer: l}
+	var typeErrs []error
+	if loose {
+		cfg.Error = func(err error) { typeErrs = append(typeErrs, err) }
+	}
 	tpkg, err := cfg.Check(pkgPath, l.fset, files, info)
-	if err != nil {
+	if err != nil && !loose {
 		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
 	}
 	return &Package{
-		PkgPath: pkgPath,
-		Name:    name,
-		Fset:    l.fset,
-		Files:   files,
-		Types:   tpkg,
-		Info:    info,
+		PkgPath:    pkgPath,
+		Name:       name,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: typeErrs,
 	}, nil
 }
 
@@ -212,7 +228,7 @@ func (l *Loader) LoadPackages(patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 		if len(files) > 0 {
-			pkg, err := l.check(p.ImportPath, p.Name, files)
+			pkg, err := l.check(p.ImportPath, p.Name, files, false)
 			if err != nil {
 				return nil, err
 			}
@@ -223,7 +239,7 @@ func (l *Loader) LoadPackages(patterns ...string) ([]*Package, error) {
 			if err != nil {
 				return nil, err
 			}
-			pkg, err := l.check(p.ImportPath+"_test", p.Name+"_test", xfiles)
+			pkg, err := l.check(p.ImportPath+"_test", p.Name+"_test", xfiles, false)
 			if err != nil {
 				return nil, err
 			}
@@ -275,7 +291,7 @@ func (l *Loader) LoadDir(root string) ([]*Package, error) {
 			return nil, err
 		}
 		name := files[0].Name.Name
-		pkg, err := l.check(filepath.ToSlash(dir), name, files)
+		pkg, err := l.check(filepath.ToSlash(dir), name, files, true)
 		if err != nil {
 			return nil, err
 		}

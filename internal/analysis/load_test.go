@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFixture(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadDirLooseBrokenImport pins loose mode's contract: a fixture with an
+// unresolvable import still loads — syntax and partial type information are
+// returned, the failure is recorded on TypeErrors, and the analyzer driver
+// can run over the package without panicking.
+func TestLoadDirLooseBrokenImport(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "broken.go", `package broken
+
+import "no/such/module/anywhere"
+
+var X = anywhere.Value
+
+func F() int { return X + 1 }
+`)
+
+	pkgs, err := NewLoader(moduleRoot(t)).LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir on broken fixture failed hard, want loose load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("packages = %d, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Name != "broken" {
+		t.Errorf("package name = %q, want broken", p.Name)
+	}
+	if len(p.Files) != 1 {
+		t.Errorf("files = %d, want 1", len(p.Files))
+	}
+	if len(p.TypeErrors) == 0 {
+		t.Error("TypeErrors empty, want the unresolvable import recorded")
+	}
+	// Analyzers must tolerate the partial type information.
+	_ = Run(pkgs, All())
+}
+
+// TestLoadDirResolvesModuleImports pins the export-data path: a fixture
+// importing an intra-module package type-checks cleanly because the loader
+// materializes export data on demand via `go list -export`.
+func TestLoadDirResolvesModuleImports(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "uses.go", `package uses
+
+import "hsmodel/internal/regress"
+
+var Sentinel = regress.ErrBadInput
+`)
+
+	pkgs, err := NewLoader(moduleRoot(t)).LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("packages = %d, want 1", len(pkgs))
+	}
+	if errs := pkgs[0].TypeErrors; len(errs) != 0 {
+		t.Fatalf("module import did not resolve from export data: %v", errs)
+	}
+	obj := pkgs[0].Types.Scope().Lookup("Sentinel")
+	if obj == nil || !isErrorType(obj.Type()) {
+		t.Fatalf("Sentinel = %v, want an error-typed var resolved through regress", obj)
+	}
+}
+
+// TestLoadDirPackageNameScoping pins that analyzer scoping keys on the
+// package *name* from the package clause, not the directory path: the same
+// unbounded-growth code fires under `package serve` and stays silent under a
+// name outside the production scope, even though both live in neutral
+// temp directories.
+func TestLoadDirPackageNameScoping(t *testing.T) {
+	src := `package %s
+
+type store struct {
+	seen map[string]int
+}
+
+func (s *store) Handle(k string) {
+	s.seen[k]++
+}
+`
+	for name, wantDiags := range map[string]int{"serve": 1, "scratchpad": 0} {
+		dir := filepath.Join(t.TempDir(), "fixture")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		writeFixture(t, dir, "store.go", applyName(src, name))
+
+		pkgs, err := NewLoader(moduleRoot(t)).LoadDir(dir)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", name, err)
+		}
+		if pkgs[0].Name != name {
+			t.Fatalf("package name = %q, want %q (must come from the package clause)", pkgs[0].Name, name)
+		}
+		diags := Run(pkgs, []*Analyzer{BoundedGrowth})
+		if len(diags) != wantDiags {
+			t.Errorf("package %s: boundedgrowth diagnostics = %d, want %d:\n%v",
+				name, len(diags), wantDiags, diags)
+		}
+	}
+}
+
+func applyName(src, name string) string {
+	return "package " + name + src[len("package %s"):]
+}
+
+// TestLoadPackagesTestOnlyDeps pins the fallback `go list` in
+// resolveImports: in-package test files import packages (testing, os/exec)
+// that the -deps walk of the non-test build never surfaces, and the loader
+// must fetch their export data on demand for strict checking to succeed.
+func TestLoadPackagesTestOnlyDeps(t *testing.T) {
+	pkgs, err := NewLoader(moduleRoot(t)).LoadPackages("hsmodel/internal/faultinject")
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	found := false
+	for _, p := range pkgs {
+		if p.Name == "faultinject" {
+			found = true
+			if len(p.TypeErrors) != 0 {
+				t.Errorf("strictly loaded package carries type errors: %v", p.TypeErrors)
+			}
+			hasTest := false
+			for _, f := range p.Files {
+				if isTestFile(p.Fset, f.Pos()) {
+					hasTest = true
+				}
+			}
+			if !hasTest {
+				t.Error("in-package test files missing from the strict load")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("package faultinject not loaded")
+	}
+}

@@ -1,0 +1,19 @@
+// Out-of-scope package: identical unbounded growth to the serve fixture, but
+// "scratch" is not a serving/training package, so boundedgrowth stays quiet.
+package scratch
+
+type bag struct {
+	items map[string]int
+	order []string
+}
+
+func (b *bag) Put(k string) {
+	b.items[k]++
+	b.order = append(b.order, k)
+}
+
+var global []int
+
+func Accumulate(v int) {
+	global = append(global, v)
+}

@@ -1,0 +1,11 @@
+// Test files are exempt: a test goroutine's lifetime is the test's. This
+// spawn would be a finding in production code and must produce nothing here.
+package worker
+
+func helperForTests() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

@@ -156,6 +156,7 @@ func (c *Collector) profileShard(app *trace.App, shard int) profile.Characterist
 	p := profile.Stream(app.ShardStream(shard, c.shardLen()), app.Name, shard)
 
 	c.mu.Lock()
+	//hslint:ignore boundedgrowth memo keyed by the experiment's finite (app, shard, shardLen) universe, not by traffic
 	c.profiles[key] = p.X
 	c.mu.Unlock()
 	return p.X

@@ -1,0 +1,20 @@
+// Publication misuse: a field written through sync/atomic in one place and
+// read plainly in another. The plain read can observe a torn or stale value
+// relative to the atomic writers.
+package misuse
+
+import "sync/atomic"
+
+type gauge struct {
+	hits uint64
+}
+
+// Bump is the sanctioned atomic protocol for hits.
+func (g *gauge) Bump() {
+	atomic.AddUint64(&g.hits, 1)
+}
+
+// Snapshot bypasses the protocol and reads hits directly.
+func (g *gauge) Snapshot() uint64 {
+	return g.hits // want `plain read of g.hits, which is accessed via sync/atomic`
+}

@@ -1,0 +1,22 @@
+// Lifecycle misuse: a detached goroutine with no join or cancellation path.
+// Once StartCollector returns, nothing in the package can stop or await the
+// loop — it outlives Close and races test teardown.
+package misuse
+
+type collector struct {
+	ticks int
+}
+
+func (c *collector) poll() {
+	c.ticks++
+}
+
+// StartCollector fires a worker with no WaitGroup, no done channel, and no
+// context: a leak by construction.
+func (c *collector) StartCollector() {
+	go func() { // want `goroutine started in collector.StartCollector has no join or cancellation path`
+		for {
+			c.poll()
+		}
+	}()
+}

@@ -1,0 +1,13 @@
+// Serving-layer misuse: per-request state accumulated into a long-lived map
+// with no eviction or cap anywhere in the package. Every distinct key grows
+// the process until it is OOM-killed.
+package serve
+
+type sessions struct {
+	byUser map[string]int
+}
+
+// Track records a request against its user on the hot path and never forgets.
+func (s *sessions) Track(user string) {
+	s.byUser[user]++ // want `unbounded growth: map insert to s.byUser in sessions.Track`
+}

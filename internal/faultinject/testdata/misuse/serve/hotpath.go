@@ -14,7 +14,7 @@ type predictor struct {
 func (p *predictor) PredictBatch(rows [][]float64) []float64 {
 	out := make([]float64, len(rows)) // want `make in hotpath predictor.PredictBatch allocates per call`
 	for i, r := range rows {
-		p.row = append(p.row, 0) // want `append in hotpath predictor.PredictBatch can grow on any call`
+		p.row = append(p.row, 0) // want `append in hotpath predictor.PredictBatch can grow on any call` `unbounded growth: append to p.row in predictor.PredictBatch`
 		acc := 0.0
 		for _, v := range r {
 			acc += v

@@ -422,6 +422,14 @@ type fitnessCache struct {
 	miss  int
 }
 
+// maxKnownSpecs caps the memo table. A cache entry is pure memoization —
+// fitness is deterministic per spec — so when a long search (or a re-specify
+// loop reusing one cache) crosses the cap the table is flushed wholesale and
+// rebuilt; recomputation is exact, only the miss counter moves. The cap is
+// far above a single search's working set (generations x population), so
+// within one search the flush never fires and convergence is untouched.
+const maxKnownSpecs = 1 << 15
+
 func newFitnessCache(eval Evaluator, workers int) *fitnessCache {
 	return &fitnessCache{eval: eval, workers: workers, known: make(map[string]float64)}
 }
@@ -573,6 +581,9 @@ func (fc *fitnessCache) scoreAll(ctx context.Context, pop []Individual) error {
 				pop[idx].Fitness = math.Inf(1)
 			}
 			continue
+		}
+		if len(fc.known) >= maxKnownSpecs {
+			clear(fc.known) // deterministic flush; entries are pure memoization
 		}
 		fc.known[key] = results[k]
 		fc.miss++

@@ -154,8 +154,10 @@ func (e *Entry) ObserveSnapshot() (uint64, time.Time, *core.Snapshot) {
 }
 
 // TriggerUpdate starts one asynchronous re-specification of the entry's
-// model if none is in flight, bounded by timeout. onDone (optional) receives
-// the outcome; a failed update never replaces the served snapshot. A
+// model if none is in flight, bounded by timeout and by the registry's
+// lifetime (Registry.Close cancels the update's context, so shutdown never
+// waits out a training timeout). onDone (optional) receives the outcome; a
+// failed or cancelled update never replaces the served snapshot. A
 // successful update marks the entry most-recently-trained, which may release
 // the featurized evaluator cache of a colder entry (Config.MaxEvalCaches).
 func (e *Entry) TriggerUpdate(timeout time.Duration, onDone func(error)) bool {
@@ -166,7 +168,7 @@ func (e *Entry) TriggerUpdate(timeout time.Duration, onDone func(error)) bool {
 	go func() {
 		defer e.updateWG.Done()
 		defer e.updating.Store(false)
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		ctx, cancel := context.WithTimeout(e.reg.baseCtx, timeout)
 		defer cancel()
 		err := e.trainer.Update(ctx)
 		if err == nil {

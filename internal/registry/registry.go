@@ -23,6 +23,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -133,6 +134,12 @@ func (c Config) withDefaults() Config {
 type Registry struct {
 	cfg Config
 
+	// baseCtx bounds every asynchronous update the registry's entries start;
+	// cancelAll fires in Close so a shutdown never sits out a training
+	// timeout it cannot interrupt.
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
 	mu      sync.RWMutex
 	entries map[string]*Entry
 	ring    *hashRing
@@ -142,10 +149,13 @@ type Registry struct {
 
 // New builds an empty registry.
 func New(cfg Config) *Registry {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Registry{
-		cfg:     cfg.withDefaults(),
-		entries: make(map[string]*Entry),
-		ring:    buildRing(cfg.Seed, 1, nil),
+		cfg:       cfg.withDefaults(),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		entries:   make(map[string]*Entry),
+		ring:      buildRing(cfg.Seed, 1, nil),
 	}
 }
 
@@ -423,9 +433,10 @@ func (r *Registry) rebuildRingLocked() {
 	r.ring = buildRing(r.cfg.Seed, r.cfg.VNodes, ids)
 }
 
-// Close drains the registry: every entry's batcher answers what it
-// accepted, in-flight updates complete, and every control loop shuts down.
-// Safe to call more than once.
+// Close drains the registry: in-flight updates are cancelled (their
+// trainers observe context cancellation and keep the last-good snapshot),
+// every entry's batcher answers what it accepted, and every control loop
+// shuts down. Safe to call more than once.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	if r.closed {
@@ -433,6 +444,7 @@ func (r *Registry) Close() {
 		return
 	}
 	r.closed = true
+	r.cancelAll()
 	entries := make([]*Entry, 0, len(r.entries))
 	for _, e := range r.entries {
 		entries = append(entries, e)

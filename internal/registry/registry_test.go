@@ -11,6 +11,7 @@ import (
 
 	"hsmodel/internal/core"
 	"hsmodel/internal/genetic"
+	"hsmodel/internal/regress"
 	"hsmodel/internal/trace"
 )
 
@@ -350,4 +351,61 @@ func TestTriggerUpdateSingleFlight(t *testing.T) {
 		t.Fatal("second update started while the first was in flight")
 	}
 	close(release)
+}
+
+// TestCloseCancelsInFlightUpdate: Registry.Close must cancel an in-flight
+// TriggerUpdate rather than sit out its timeout — the update's context
+// derives from the registry's lifetime. The wrapped evaluator parks the
+// search mid-generation; once Close has fired the cancellation we release
+// it and the search must abort with context.Canceled, never publishing.
+// Run under -race: it exercises Close racing the update goroutine.
+func TestCloseCancelsInFlightUpdate(t *testing.T) {
+	r := New(Config{})
+	tr := trainedTrainer(t, 11)
+
+	entered := make(chan struct{}) // first evaluation reached
+	gate := make(chan struct{})    // holds the search mid-generation
+	var enteredOnce, gateOnce sync.Once
+	tr.WrapEvaluator = func(ev genetic.Evaluator) genetic.Evaluator {
+		return genetic.EvaluatorFunc(func(spec regress.Spec) float64 {
+			enteredOnce.Do(func() { close(entered) })
+			<-gate
+			return ev.Fitness(spec)
+		})
+	}
+	e, err := r.RegisterTrainer(Spec{ID: "m"}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	if !e.TriggerUpdate(time.Minute, func(err error) { done <- err }) {
+		t.Fatal("update did not start")
+	}
+	<-entered
+
+	closed := make(chan struct{})
+	go func() {
+		r.Close()
+		close(closed)
+	}()
+	// Close cancels the registry context before draining entries; release
+	// the parked search only after cancellation is observable so the abort
+	// is unambiguously the cancel, not a finished search.
+	<-r.baseCtx.Done()
+	gateOnce.Do(func() { close(gate) })
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("update error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("update did not abort after Close cancelled it")
+	}
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return after the update aborted")
+	}
 }

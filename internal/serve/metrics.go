@@ -116,11 +116,22 @@ type modelReqKey struct {
 	code     int
 }
 
+// Cardinality caps for the labeled counter maps. Endpoints are a fixed set
+// but status codes and (for model_requests_total) model ids arrive from
+// traffic, so without a cap a label-spraying client grows the maps — and the
+// scrape page — without bound. At the cap, new label combinations are
+// dropped (existing series keep counting) and the drop is itself counted.
+const (
+	maxRequestSeries      = 256
+	maxModelRequestSeries = 4096
+)
+
 // metrics aggregates everything GET /metrics exposes.
 type metrics struct {
 	mu            sync.Mutex
 	requests      map[reqKey]uint64
 	modelRequests map[modelReqKey]uint64
+	droppedSeries uint64 // new label combinations rejected at the cap
 
 	latency   map[string]*histogram // per endpoint
 	batchSize *histogram
@@ -150,8 +161,13 @@ func newMetrics() *metrics {
 
 // observeRequest records one completed request.
 func (m *metrics) observeRequest(endpoint string, code int, seconds float64) {
+	k := reqKey{endpoint, code}
 	m.mu.Lock()
-	m.requests[reqKey{endpoint, code}]++
+	if _, ok := m.requests[k]; ok || len(m.requests) < maxRequestSeries {
+		m.requests[k]++
+	} else {
+		m.droppedSeries++
+	}
 	m.mu.Unlock()
 	if h, ok := m.latency[endpoint]; ok {
 		h.observe(seconds)
@@ -160,8 +176,13 @@ func (m *metrics) observeRequest(endpoint string, code int, seconds float64) {
 
 // observeModelRequest records one completed model-addressed request.
 func (m *metrics) observeModelRequest(model, endpoint string, code int) {
+	k := modelReqKey{model, endpoint, code}
 	m.mu.Lock()
-	m.modelRequests[modelReqKey{model, endpoint, code}]++
+	if _, ok := m.modelRequests[k]; ok || len(m.modelRequests) < maxModelRequestSeries {
+		m.modelRequests[k]++
+	} else {
+		m.droppedSeries++
+	}
 	m.mu.Unlock()
 }
 
@@ -278,6 +299,13 @@ func (m *metrics) writeTo(w io.Writer, snap snapshotState, lc *lifecycleState, r
 	io.WriteString(w, "# HELP hsserve_sheds_total Predictions rejected because the queue was full (HTTP 429).\n")
 	io.WriteString(w, "# TYPE hsserve_sheds_total counter\n")
 	fmt.Fprintf(w, "hsserve_sheds_total %d\n", m.shedsTotal.Load())
+
+	m.mu.Lock()
+	dropped := m.droppedSeries
+	m.mu.Unlock()
+	io.WriteString(w, "# HELP hsserve_metrics_series_dropped_total Label combinations rejected at the counter cardinality cap.\n")
+	io.WriteString(w, "# TYPE hsserve_metrics_series_dropped_total counter\n")
+	fmt.Fprintf(w, "hsserve_metrics_series_dropped_total %d\n", dropped)
 
 	if reg != nil {
 		m.writeRegistry(w, reg)
